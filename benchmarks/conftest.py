@@ -1,0 +1,60 @@
+"""Shared fixtures for the benchmark suite.
+
+Each fixture builds one of the paper's experimental databases at a laptop
+scale (see ``repro.bench.harness``).  Building is done once per session and
+shared across the benchmarks that need it; benchmarks that must mutate their
+database (maintenance experiments) build their own copies.
+"""
+
+import pytest
+
+from repro.bench.harness import (
+    ExperimentScale,
+    build_ebay_database,
+    build_sdss_database,
+    build_sdss_rows,
+    build_tpch_database,
+)
+
+
+@pytest.fixture(scope="session")
+def experiment_scale():
+    return ExperimentScale.from_environment()
+
+
+@pytest.fixture(scope="session")
+def tpch_correlated(experiment_scale):
+    """lineitem clustered on receiptdate (correlated with shipdate)."""
+    db, rows = build_tpch_database(experiment_scale, cluster_on="receiptdate")
+    db.create_secondary_index("lineitem", "shipdate")
+    db.create_secondary_index("lineitem", "suppkey", name="lineitem__idx_suppkey")
+    return db, rows
+
+
+@pytest.fixture(scope="session")
+def tpch_uncorrelated(experiment_scale):
+    """lineitem clustered on the primary key (uncorrelated with shipdate)."""
+    db, rows = build_tpch_database(experiment_scale, cluster_on="orderkey")
+    db.create_secondary_index("lineitem", "shipdate")
+    db.create_secondary_index("lineitem", "suppkey", name="lineitem__idx_suppkey")
+    return db, rows
+
+
+@pytest.fixture(scope="session")
+def sdss_rows(experiment_scale):
+    """Synthetic PhotoObj rows used by the Figure 2 sweep and the advisor."""
+    return build_sdss_rows(experiment_scale)
+
+
+@pytest.fixture(scope="session")
+def sdss_database(experiment_scale):
+    """PhotoObj-style table clustered on objID (Tables 3, 5, 6, Experiment 5)."""
+    return build_sdss_database(experiment_scale)
+
+
+@pytest.fixture(scope="session")
+def ebay_database(experiment_scale):
+    """ITEMS clustered on CATID with a Price B+Tree (Experiments 1, 2, 4)."""
+    db, rows = build_ebay_database(experiment_scale)
+    db.create_secondary_index("items", "price")
+    return db, rows

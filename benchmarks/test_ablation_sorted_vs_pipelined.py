@@ -1,0 +1,58 @@
+"""Ablation: sorted (bitmap) vs pipelined secondary index scans (Section 3).
+
+Sorting the RIDs before visiting the heap is what turns scattered per-tuple
+seeks into a single sweep; without it (the pipelined iterator model) every
+matching tuple costs a random page read.  This ablation quantifies that gap
+on the TPC-H shipdate workload with the correlated clustering in place.
+"""
+
+import pytest
+
+from repro.bench.harness import build_tpch_database
+from repro.bench.reporting import format_table, print_header
+from repro.datasets.workloads import tpch_shipdate_query
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_sorted_vs_pipelined(benchmark, experiment_scale):
+    # Built with the *unscaled* 5.5 ms seek cost: the contrast between the
+    # two scan strategies is precisely about how many seeks they pay, so the
+    # seek-cost scaling used elsewhere would mask it.
+    db, rows = build_tpch_database(
+        experiment_scale, num_orders=8_000, seek_scale=1.0, cluster_on="receiptdate"
+    )
+    db.create_secondary_index("lineitem", "shipdate")
+
+    def run():
+        results = []
+        for num_dates in (1, 4, 16):
+            query = tpch_shipdate_query(rows, num_dates, seed=100 + num_dates)
+            sorted_scan = db.query(query, force="sorted_index_scan", cold_cache=True)
+            pipelined = db.query(query, force="pipelined_index_scan", cold_cache=True)
+            results.append(
+                {
+                    "num_dates": num_dates,
+                    "sorted_ms": round(sorted_scan.elapsed_ms, 2),
+                    "pipelined_ms": round(pipelined.elapsed_ms, 2),
+                    "sorted_seeks": sorted_scan.io.seeks,
+                    "pipelined_seeks": pipelined.io.seeks,
+                    "rows": sorted_scan.rows_matched,
+                }
+            )
+            assert pipelined.rows_matched == sorted_scan.rows_matched
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header("Ablation: sorted (bitmap) vs pipelined secondary index scan")
+    print(format_table(results))
+
+    for row in results:
+        # Sorting the RIDs never costs more seeks; at tiny lookups the two
+        # plans touch the same couple of pages and are within noise of each
+        # other, so only a loose per-row bound is asserted.
+        assert row["sorted_seeks"] <= row["pipelined_seeks"]
+        assert row["sorted_ms"] <= row["pipelined_ms"] * 1.1 + 0.5
+    largest = results[-1]
+    assert largest["sorted_ms"] < largest["pipelined_ms"]
+    assert largest["sorted_seeks"] < largest["pipelined_seeks"]

@@ -1,0 +1,103 @@
+"""Figure 10 (Experiment 4): the cost model tracks measured CM runtimes.
+
+The query ``SELECT AVG(Price) FROM ITEMS WHERE CAT5 = X`` is run through a CM
+on CAT5 for category values whose ``c_per_u`` (number of co-occurring CATID
+values) spans a wide range.  Measured runtime grows with ``c_per_u`` and the
+analytical model, fed only the per-value statistics, tracks the measurements.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_table, print_header
+from repro.core.cost import CMCostInputs, cm_lookup_cost
+from repro.core.model import HardwareParameters
+from repro.datasets.workloads import ebay_cat_values_by_c_per_u, ebay_category_query
+
+#: Target c_per_u values.  The paper picks CAT5 values whose c_per_u ranges
+#: from 4 to 145; the scaled-down hierarchy (400 instead of 24 000
+#: categories) provides the same spread across its rollup levels, so values
+#: are drawn from CAT2..CAT5 rather than CAT5 alone.
+C_PER_U_TARGETS = (2, 4, 8, 16, 32, 64)
+CATEGORY_LEVELS = ("cat5", "cat4", "cat3", "cat2")
+
+
+def _values_across_levels(rows):
+    """(attribute, value, c_per_u) candidates closest to each target."""
+    candidates = []
+    for attribute in CATEGORY_LEVELS:
+        populated = [row for row in rows if row[attribute]]
+        for value, c_per_u in ebay_cat_values_by_c_per_u(
+            populated, attribute, targets=C_PER_U_TARGETS
+        ):
+            candidates.append((attribute, value, c_per_u))
+    chosen = []
+    used = set()
+    for target in C_PER_U_TARGETS:
+        best = min(
+            (c for c in candidates if c[1] not in used),
+            key=lambda c: abs(c[2] - target),
+        )
+        chosen.append(best)
+        used.add(best[1])
+    return sorted(chosen, key=lambda c: c[2])
+
+
+@pytest.mark.benchmark(group="figure10")
+def test_fig10_cost_model_tracks_c_per_u(benchmark, ebay_database):
+    db, rows = ebay_database
+    table = db.table("items")
+    for attribute in CATEGORY_LEVELS:
+        if f"cm_{attribute}" not in table.correlation_maps:
+            db.create_correlation_map("items", [attribute], name=f"cm_{attribute}")
+    hardware = HardwareParameters.from_disk(db.disk.params)
+    profile = table.table_profile()
+    chosen = _values_across_levels(rows)
+
+    def run():
+        results = []
+        for attribute, value, c_per_u in chosen:
+            cm = table.correlation_maps[f"cm_{attribute}"]
+            query = ebay_category_query(attribute, value)
+            measured = db.query(query, force="cm_scan", cold_cache=True)
+            targets = cm.lookup({attribute: value})
+            model_ms = cm_lookup_cost(
+                1,
+                CMCostInputs(
+                    buckets_per_lookup=max(1, len(targets)),
+                    pages_per_bucket=float(table.pages_per_bucket or 1),
+                    cm_pages=cm.size_pages(),
+                ),
+                profile,
+                hardware,
+            )
+            results.append(
+                {
+                    "cat_value": f"{attribute}={str(value)[:24]}",
+                    "c_per_u": c_per_u,
+                    "measured_ms": round(measured.elapsed_ms, 2),
+                    "cost_model_ms": round(model_ms, 2),
+                    "rows": measured.rows_matched,
+                }
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header("Figure 10: CM runtime and cost model vs c_per_u (category lookups)")
+    print(format_table(results, columns=["cat_value", "c_per_u", "measured_ms", "cost_model_ms"]))
+
+    # The chosen values span a real range of correlation strengths.
+    c_per_us = [row["c_per_u"] for row in results]
+    assert c_per_us == sorted(c_per_us)
+    assert c_per_us[-1] >= 4 * c_per_us[0]
+
+    # Measured runtime grows with c_per_u (weak monotonicity: each step may
+    # wobble slightly but the extremes differ clearly).
+    measured = [row["measured_ms"] for row in results]
+    assert measured[-1] > 1.5 * measured[0]
+    assert all(b >= a * 0.7 for a, b in zip(measured, measured[1:]))
+
+    # The analytical model tracks the measurements within a small factor.
+    for row in results:
+        assert row["cost_model_ms"] <= 3.0 * row["measured_ms"] + 0.5
+        assert row["measured_ms"] <= 3.0 * row["cost_model_ms"] + 0.5

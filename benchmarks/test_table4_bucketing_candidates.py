@@ -1,0 +1,57 @@
+"""Table 4: the bucketings the CM Advisor considers for the SX6 attributes.
+
+For the SX6 query the advisor enumerates candidate bucket widths for each
+predicated attribute: few-valued attributes (mode, type) are offered
+unbucketed, the many-valued magnitude psfMag_g gets a wide range of widths
+(2^2 ... 2^16 in the paper), and fieldID a narrow one.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_table, print_header
+from repro.core.advisor import CMAdvisor
+
+SX6_ATTRIBUTES = ("mode", "type", "psfmag_g", "fieldid")
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_bucketing_candidates(benchmark, sdss_rows):
+    advisor = CMAdvisor(sdss_rows, "objid", sample_size=20_000, seed=4)
+
+    def run():
+        return advisor.bucketing_report(SX6_ATTRIBUTES)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header("Table 4: unclustered-attribute bucketings considered for SX6")
+    print(
+        format_table(
+            [
+                {
+                    "column": row["column"],
+                    "cardinality": row["cardinality"],
+                    "bucket_widths": row["bucket_widths"],
+                }
+                for row in report
+            ]
+        )
+    )
+
+    by_column = {row["column"]: row for row in report}
+    # mode and type are few-valued: no bucketing is proposed.
+    assert by_column["mode"]["cardinality"] <= 3
+    assert not by_column["mode"]["bucket_levels"]
+    assert by_column["type"]["cardinality"] <= 5
+    assert len(by_column["type"]["bucket_levels"]) <= 1
+
+    # psfmag_g is many-valued: a wide range of exponentially growing widths.
+    assert by_column["psfmag_g"]["cardinality"] > 1_000
+    psf_levels = by_column["psfmag_g"]["bucket_levels"]
+    assert min(psf_levels) == 1
+    assert max(psf_levels) >= 8
+
+    # fieldid has moderate cardinality: a handful of widths only.
+    field_levels = by_column["fieldid"]["bucket_levels"]
+    assert field_levels
+    assert max(field_levels) <= 10
+    assert len(field_levels) < len(psf_levels)

@@ -1,0 +1,116 @@
+"""CM Advisor tour: from a training workload to recommended correlation maps.
+
+The advisor (paper Section 6) takes the queries an application runs, explores
+candidate (possibly composite, possibly bucketed) CM designs for each, and
+recommends the smallest design whose estimated slowdown relative to a dense
+secondary B+Tree stays within a performance target.  It also answers the
+physical-design question of Section 3.4: which attribute should the table be
+clustered on to benefit the most queries?
+
+Run with::
+
+    python examples/advisor_tour.py
+"""
+
+from repro import CMAdvisor, ClusteringAdvisor, HardwareParameters, TableProfile
+from repro.bench.harness import SDSS_SEEK_SCALE, build_sdss_rows, scaled_disk_parameters
+from repro.bench.reporting import format_table
+from repro.datasets.sdss import ATTRIBUTE_FAMILIES
+from repro.datasets.workloads import (
+    one_percent_range,
+    sdss_q2_training_query,
+    sdss_sx6_training_query,
+)
+
+#: The data set is ~10x smaller than the paper's SDSS extract, so the seek
+#: cost is scaled down by the same factor (see EXPERIMENTS.md).
+HARDWARE = HardwareParameters.from_disk(scaled_disk_parameters(SDSS_SEEK_SCALE))
+
+
+def main():
+    rows = build_sdss_rows()
+    print(f"PhotoObj sample: {len(rows)} rows, {len(rows[0])} attributes")
+
+    # ------------------------------------------------------------------
+    # 1. Which attribute should we cluster on?  (the Figure 2 question)
+    # ------------------------------------------------------------------
+    candidates = ["fieldid", "run", "psfmag_g", "ra", "noise1"]
+    query_attributes = (
+        list(ATTRIBUTE_FAMILIES["position"][:6])
+        + list(ATTRIBUTE_FAMILIES["brightness"][:4])
+        + ["noise1"]
+    )
+    clustering_advisor = ClusteringAdvisor(
+        rows,
+        table_profile=TableProfile(total_tups=len(rows), tups_per_page=20, btree_height=2),
+        hardware=HARDWARE,
+    )
+    predicates = {}
+    for position, attribute in enumerate(query_attributes):
+        low, high = one_percent_range(rows, attribute, seed=position)
+        predicates[attribute] = (
+            lambda row, a=attribute, lo=low, hi=high: lo <= row[a] <= hi
+        )
+    print()
+    print("clustering advisor: queries accelerated >= 2x by each clustering choice")
+    summary = []
+    for benefit in clustering_advisor.simulate_workload(candidates, predicates):
+        histogram = benefit.histogram()
+        summary.append(
+            {
+                "clustered on": benefit.clustered_attribute,
+                ">=2x": histogram[2.0],
+                ">=4x": histogram[4.0],
+                ">=8x": histogram[8.0],
+            }
+        )
+    print(format_table(summary))
+
+    # ------------------------------------------------------------------
+    # 2. Which CMs should we build for the workload?  (Tables 4 and 5)
+    # ------------------------------------------------------------------
+    advisor = CMAdvisor(
+        rows,
+        "objid",
+        table_profile=TableProfile(total_tups=len(rows), tups_per_page=20, btree_height=2),
+        hardware=HARDWARE,
+        performance_target=0.10,
+        sample_size=20_000,
+    )
+
+    print()
+    print("bucketings considered for the SX6 attributes (Table 4):")
+    print(
+        format_table(
+            [
+                {"column": row["column"], "cardinality": row["cardinality"],
+                 "bucket widths": row["bucket_widths"]}
+                for row in advisor.bucketing_report(["mode", "type", "psfmag_g", "fieldid"])
+            ]
+        )
+    )
+
+    for training_query in (sdss_sx6_training_query(), sdss_q2_training_query()):
+        recommendation = advisor.recommend(training_query)
+        print()
+        print(f"designs for query {training_query.name!r} (best 6 by estimated slowdown):")
+        print(
+            format_table(
+                advisor.design_table(training_query, limit=6),
+                columns=["runtime", "cm_design", "size_ratio"],
+            )
+        )
+        chosen = recommendation.recommended
+        if chosen is None:
+            print("  -> no CM recommended (no design beats a sequential scan)")
+        else:
+            print(
+                f"  -> recommended: CM({chosen.describe()}), "
+                f"estimated {chosen.estimated_size_bytes / 1024:.0f} KB "
+                f"({chosen.size_ratio:.1%} of the equivalent B+Tree), "
+                f"slowdown {chosen.slowdown:+.0%}"
+            )
+
+
+if __name__ == "__main__":
+    main()

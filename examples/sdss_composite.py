@@ -1,0 +1,83 @@
+"""SDSS sky survey: composite correlation maps (Experiment 5 / Table 6).
+
+Neither right ascension nor declination alone determines where an object is
+stored (the survey sweeps the sky block by block), but the *pair* (ra, dec)
+does.  A composite CM on (ra, dec) therefore answers region queries far
+faster than single-attribute CMs -- and even beats a composite secondary
+B+Tree, which can only use the leading attribute of its key for a range
+predicate, while being orders of magnitude smaller.
+
+Run with::
+
+    python examples/sdss_composite.py
+"""
+
+from repro import WidthBucketer
+from repro.bench.harness import build_sdss_database
+from repro.bench.reporting import format_table
+from repro.datasets.workloads import sdss_q2_query
+
+
+def main():
+    print("building the PhotoObj-style table clustered on objID ...")
+    db, rows = build_sdss_database()
+    table = db.table("photoobj")
+    print(f"  {table.num_rows} rows over {table.num_pages} pages")
+
+    # How strongly does each key determine the clustered attribute?
+    for key in (["ra"], ["dec"], ["ra", "dec"]):
+        profile = table.correlation_profile(key)
+        print(f"  c_per_u({' + '.join(key)} -> objid) = {profile.c_per_u:8.1f}")
+
+    ra_bucket, dec_bucket = WidthBucketer(0.5), WidthBucketer(0.25)
+    cm_ra = db.create_correlation_map("photoobj", ["ra"], bucketers={"ra": ra_bucket})
+    cm_dec = db.create_correlation_map("photoobj", ["dec"], bucketers={"dec": dec_bucket})
+    cm_pair = db.create_correlation_map(
+        "photoobj", ["ra", "dec"], bucketers={"ra": ra_bucket, "dec": dec_bucket}
+    )
+    btree_pair = db.create_secondary_index("photoobj", ["ra", "dec"])
+
+    query = sdss_q2_query(
+        ra_range=(188.0, 189.0), dec_range=(3.0, 3.2), surface_range=(15.0, 40.0)
+    )
+    print()
+    print("query:", query.describe())
+
+    rows_out = []
+    correlation_maps = table.correlation_maps
+    for label, cm in (("CM(ra)", cm_ra), ("CM(dec)", cm_dec), ("CM(ra, dec)", cm_pair)):
+        # Leave only the CM under test visible to the planner.
+        table.correlation_maps = {cm.name: cm}
+        result = db.query(query, force="cm_scan", cold_cache=True)
+        rows_out.append(
+            {
+                "index": label,
+                "runtime_ms": round(result.elapsed_ms, 2),
+                "pages": result.pages_visited,
+                "size_kb": round(cm.size_bytes() / 1024, 1),
+            }
+        )
+    table.correlation_maps = correlation_maps
+    result = db.query(query, force="sorted_index_scan", cold_cache=True)
+    rows_out.append(
+        {
+            "index": "B+Tree(ra, dec)",
+            "runtime_ms": round(result.elapsed_ms, 2),
+            "pages": result.pages_visited,
+            "size_kb": round(btree_pair.size_bytes() / 1024, 1),
+        }
+    )
+
+    print()
+    print(format_table(rows_out))
+    print()
+    print(
+        "The composite CM reads only the few clustered buckets where both the\n"
+        "ra range and the dec range can co-occur, while the single-attribute\n"
+        "structures (and the B+Tree's ra prefix) sweep every block the ra or\n"
+        "dec stripe crosses -- the Table 6 result."
+    )
+
+
+if __name__ == "__main__":
+    main()

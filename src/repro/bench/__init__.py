@@ -1,0 +1,27 @@
+"""Benchmark harness: shared builders and reporting for the experiments.
+
+Every table and figure of the paper's evaluation section has a benchmark in
+``benchmarks/`` that regenerates its rows or series.  This package holds the
+pieces they share: scaled data-set/database builders (honouring the
+``REPRO_SCALE`` environment variable) and plain-text table/series reporting.
+"""
+
+from repro.bench.harness import (
+    ExperimentScale,
+    build_ebay_database,
+    build_sdss_database,
+    build_tpch_database,
+    scale_factor,
+)
+from repro.bench.reporting import format_series, format_table, print_header
+
+__all__ = [
+    "ExperimentScale",
+    "scale_factor",
+    "build_ebay_database",
+    "build_tpch_database",
+    "build_sdss_database",
+    "format_table",
+    "format_series",
+    "print_header",
+]

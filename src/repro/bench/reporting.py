@@ -1,0 +1,61 @@
+"""Plain-text reporting of experiment results.
+
+The benchmarks print the same rows and series the paper reports; these
+helpers keep that output aligned and readable in the pytest-benchmark logs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]], *, columns: Sequence[str] | None = None
+) -> str:
+    """Render rows of dictionaries as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(columns or rows[0].keys())
+    rendered = [[_format_value(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    separator = "  ".join("-" * width for width in widths)
+    body = "\n".join(
+        "  ".join(value.ljust(width) for value, width in zip(line, widths))
+        for line in rendered
+    )
+    return "\n".join([header, separator, body])
+
+
+def format_series(
+    series: Mapping[str, Sequence[Any]], *, x_label: str, x_values: Sequence[Any]
+) -> str:
+    """Render one or more y-series against shared x values (a text 'figure')."""
+    rows = []
+    for i, x in enumerate(x_values):
+        row = {x_label: x}
+        for name, values in series.items():
+            row[name] = values[i] if i < len(values) else ""
+        rows.append(row)
+    return format_table(rows, columns=[x_label, *series.keys()])
+
+
+def print_header(title: str) -> None:
+    """Print a banner for one experiment (shows up in captured bench output)."""
+    line = "=" * max(len(title) + 4, 40)
+    print(f"\n{line}\n| {title}\n{line}")

@@ -1,0 +1,74 @@
+"""The paper's primary contribution: correlation maps, cost model and advisor.
+
+Public API
+----------
+
+* :class:`~repro.core.model.HardwareParameters`,
+  :class:`~repro.core.model.TableProfile`,
+  :class:`~repro.core.model.CorrelationProfile` -- the statistics of Tables 1
+  and 2 of the paper.
+* :mod:`repro.core.cost` -- the correlation-aware analytical cost model
+  (Sections 3 and 4).
+* :class:`~repro.core.statistics.StatisticsCollector` -- computes the
+  statistics exactly or from samples.
+* :mod:`repro.core.bucketing` -- bucketing of unclustered and clustered
+  attributes (Sections 5.4 and 6.1).
+* :class:`~repro.core.correlation_map.CorrelationMap` -- the compressed
+  access method itself (Section 5).
+* :class:`~repro.core.advisor.CMAdvisor` -- the automatic designer
+  (Section 6).
+"""
+
+from repro.core.model import (
+    CorrelationProfile,
+    HardwareParameters,
+    TableProfile,
+)
+from repro.core.cost import (
+    cm_lookup_cost,
+    pipelined_lookup_cost,
+    scan_cost,
+    sorted_lookup_cost,
+)
+from repro.core.bucketing import (
+    Bucketer,
+    IdentityBucketer,
+    QuantileBucketer,
+    WidthBucketer,
+    assign_clustered_buckets,
+    candidate_bucketings,
+)
+from repro.core.composite import AttributeBucketing, CompositeKeySpec
+from repro.core.correlation_map import CorrelationMap
+from repro.core.statistics import StatisticsCollector, c_per_u_from_cardinalities
+from repro.core.rewriter import QueryRewriter, RewrittenPredicate
+from repro.core.advisor import CMAdvisor, CMDesign, Recommendation
+from repro.core.clustering_advisor import ClusteringAdvisor, ClusteringBenefit
+
+__all__ = [
+    "HardwareParameters",
+    "TableProfile",
+    "CorrelationProfile",
+    "scan_cost",
+    "pipelined_lookup_cost",
+    "sorted_lookup_cost",
+    "cm_lookup_cost",
+    "Bucketer",
+    "IdentityBucketer",
+    "WidthBucketer",
+    "QuantileBucketer",
+    "candidate_bucketings",
+    "assign_clustered_buckets",
+    "AttributeBucketing",
+    "CompositeKeySpec",
+    "CorrelationMap",
+    "StatisticsCollector",
+    "c_per_u_from_cardinalities",
+    "QueryRewriter",
+    "RewrittenPredicate",
+    "CMAdvisor",
+    "CMDesign",
+    "Recommendation",
+    "ClusteringAdvisor",
+    "ClusteringBenefit",
+]

@@ -1,0 +1,260 @@
+"""The Correlation Map (CM) access method (Section 5).
+
+A CM maps each distinct *value* (or bucket of values) of an unclustered
+attribute to the set of clustered-attribute values (or clustered bucket ids)
+it co-occurs with, together with a co-occurrence count used by deletions
+(Algorithm 1 of the paper).  Because the mapping is at value granularity
+rather than tuple granularity, and because both sides can be bucketed, a CM
+is typically orders of magnitude smaller than the equivalent secondary
+B+Tree, small enough to remain cached in memory even while heavily updated.
+
+Lookups return the co-occurring clustered targets for a set of predicated
+values (``cm_lookup`` in Section 5.2); the executor then scans the clustered
+index for those targets and re-applies the original predicate to discard
+false positives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core.bucketing import Bucketer
+from repro.core.composite import (
+    BucketConstraint,
+    CompositeKeySpec,
+    ValueConstraint,
+    key_matches,
+)
+
+#: Byte estimates used for size reporting.  A CM entry stores one clustered
+#: target and its co-occurrence count under an already-stored key.
+_TARGET_BYTES = 8
+_COUNT_BYTES = 4
+_KEY_OVERHEAD_BYTES = 8
+
+
+def _value_bytes(value: Any) -> int:
+    if isinstance(value, tuple):
+        return sum(_value_bytes(part) for part in value)
+    if isinstance(value, str):
+        return max(4, len(value))
+    return 8
+
+
+@dataclass
+class CMStats:
+    """Summary statistics reported by :meth:`CorrelationMap.stats`."""
+
+    distinct_keys: int
+    total_entries: int
+    size_bytes: int
+    max_targets_per_key: int
+    avg_targets_per_key: float
+
+    @property
+    def size_megabytes(self) -> float:
+        return self.size_bytes / (1024 * 1024)
+
+
+class CorrelationMap:
+    """A compressed mapping from unclustered values to clustered targets.
+
+    Parameters
+    ----------
+    name:
+        Name of the CM (used in catalogs and reports).
+    key_spec:
+        The (possibly composite, possibly bucketed) CM attribute(s).
+    clustered_attribute:
+        The clustered attribute whose values (or bucket ids) the CM stores.
+    clustered_bucketer:
+        Optional bucketer applied to the clustered attribute; when the table
+        assigns clustered bucket ids (Section 6.1.1) the engine instead passes
+        the bucket id as the target directly via ``target_of``.
+    target_of:
+        Optional callable ``row -> target`` overriding how the clustered
+        target of a row is derived.  Defaults to (bucketed) row value of
+        ``clustered_attribute``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        key_spec: CompositeKeySpec,
+        clustered_attribute: str,
+        *,
+        clustered_bucketer: Bucketer | None = None,
+        target_of=None,
+    ) -> None:
+        self.name = name
+        self.key_spec = key_spec
+        self.clustered_attribute = clustered_attribute
+        self.clustered_bucketer = clustered_bucketer
+        self._target_of = target_of
+        #: key tuple -> {clustered target -> co-occurrence count}
+        self._mapping: dict[tuple[Any, ...], dict[Any, int]] = {}
+        self._total_rows = 0
+
+    # -- derivation of keys and targets ---------------------------------------
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        return self.key_spec.attributes
+
+    def key_of(self, row: Mapping[str, Any]) -> tuple[Any, ...]:
+        return self.key_spec.key_of(row)
+
+    def target_of(self, row: Mapping[str, Any]) -> Any:
+        if self._target_of is not None:
+            return self._target_of(row)
+        value = row[self.clustered_attribute]
+        if self.clustered_bucketer is not None:
+            return self.clustered_bucketer.bucket(value)
+        return value
+
+    # -- construction and maintenance (Algorithm 1) -----------------------------
+
+    def build(self, rows: Iterable[Mapping[str, Any]]) -> "CorrelationMap":
+        """Build the CM with one scan of the table (Algorithm 1)."""
+        for row in rows:
+            self.insert(row)
+        return self
+
+    def insert(self, row: Mapping[str, Any]) -> None:
+        """Maintain the CM for one inserted tuple."""
+        key = self.key_of(row)
+        target = self.target_of(row)
+        targets = self._mapping.setdefault(key, {})
+        targets[target] = targets.get(target, 0) + 1
+        self._total_rows += 1
+
+    def delete(self, row: Mapping[str, Any]) -> bool:
+        """Maintain the CM for one deleted tuple.
+
+        Decrements the co-occurrence count and removes the clustered target
+        once its count reaches zero; removes the key once it has no targets.
+        Returns ``False`` when the row was not represented (already absent).
+        """
+        key = self.key_of(row)
+        target = self.target_of(row)
+        targets = self._mapping.get(key)
+        if not targets or target not in targets:
+            return False
+        targets[target] -= 1
+        if targets[target] <= 0:
+            del targets[target]
+        if not targets:
+            del self._mapping[key]
+        self._total_rows -= 1
+        return True
+
+    def update(self, old_row: Mapping[str, Any], new_row: Mapping[str, Any]) -> None:
+        """Updates are a delete followed by an insert (Section 5.1)."""
+        self.delete(old_row)
+        self.insert(new_row)
+
+    # -- lookups (Section 5.2) -----------------------------------------------------
+
+    def lookup(self, values: Iterable[Mapping[str, Any]] | Mapping[str, Any]) -> list[Any]:
+        """``cm_lookup({v1 ... vN})``: clustered targets for exact key values.
+
+        ``values`` is either one assignment of CM attributes to values or an
+        iterable of such assignments; the result is the sorted union of the
+        clustered targets of every assignment.
+        """
+        if isinstance(values, Mapping):
+            values = [values]
+        targets: set[Any] = set()
+        for assignment in values:
+            key = self.key_spec.key_of_values(assignment)
+            targets.update(self._mapping.get(key, {}))
+        return sorted(targets)
+
+    def lookup_constraints(
+        self, constraints: Mapping[str, ValueConstraint]
+    ) -> list[Any]:
+        """Clustered targets for arbitrary per-attribute constraints.
+
+        Handles range predicates and partially-constrained composite keys by
+        checking every stored key against the bucket-level constraints.  CMs
+        are small (that is the point), so the linear pass is cheap; exact
+        equality constraints over all attributes use the dictionary directly.
+        """
+        bucket_constraints = self.key_spec.bucket_constraints(constraints)
+        if self._all_equality(bucket_constraints):
+            return self._lookup_equality(bucket_constraints)
+        targets: set[Any] = set()
+        for key, key_targets in self._mapping.items():
+            if key_matches(key, bucket_constraints):
+                targets.update(key_targets)
+        return sorted(targets)
+
+    @staticmethod
+    def _all_equality(constraints: Sequence[BucketConstraint]) -> bool:
+        return all(constraint.buckets is not None for constraint in constraints)
+
+    def _lookup_equality(self, constraints: Sequence[BucketConstraint]) -> list[Any]:
+        from itertools import product
+
+        targets: set[Any] = set()
+        bucket_sets = [sorted(constraint.buckets) for constraint in constraints]
+        for combination in product(*bucket_sets):
+            targets.update(self._mapping.get(tuple(combination), {}))
+        return sorted(targets)
+
+    def keys(self) -> list[tuple[Any, ...]]:
+        return list(self._mapping)
+
+    def targets_of_key(self, key: tuple[Any, ...]) -> dict[Any, int]:
+        return dict(self._mapping.get(key, {}))
+
+    def co_occurrence_count(self, key: tuple[Any, ...], target: Any) -> int:
+        return self._mapping.get(key, {}).get(target, 0)
+
+    # -- size accounting -------------------------------------------------------------
+
+    @property
+    def distinct_keys(self) -> int:
+        return len(self._mapping)
+
+    @property
+    def total_entries(self) -> int:
+        """Number of (key, clustered target) pairs stored."""
+        return sum(len(targets) for targets in self._mapping.values())
+
+    @property
+    def total_rows_represented(self) -> int:
+        return self._total_rows
+
+    def size_bytes(self) -> int:
+        """Approximate in-memory / on-disk size of the CM."""
+        size = 0
+        for key, targets in self._mapping.items():
+            size += _value_bytes(key) + _KEY_OVERHEAD_BYTES
+            size += len(targets) * (_TARGET_BYTES + _COUNT_BYTES)
+        return size
+
+    def size_pages(self, page_size_bytes: int = 8192) -> int:
+        return max(1, -(-self.size_bytes() // page_size_bytes))
+
+    def stats(self) -> CMStats:
+        targets_per_key = [len(targets) for targets in self._mapping.values()]
+        return CMStats(
+            distinct_keys=self.distinct_keys,
+            total_entries=self.total_entries,
+            size_bytes=self.size_bytes(),
+            max_targets_per_key=max(targets_per_key, default=0),
+            avg_targets_per_key=(
+                sum(targets_per_key) / len(targets_per_key) if targets_per_key else 0.0
+            ),
+        )
+
+    def measured_c_per_u(self) -> float:
+        """The CM's own bucket-level ``c_per_u``: avg targets per stored key."""
+        if not self._mapping:
+            return 0.0
+        return self.total_entries / self.distinct_keys
+
+    def describe(self) -> str:
+        return f"CM({self.key_spec.describe()}) -> {self.clustered_attribute}"

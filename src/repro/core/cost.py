@@ -1,0 +1,148 @@
+"""The correlation-aware analytical cost model (Sections 3 and 4).
+
+The model predicts the cost, in milliseconds of simulated disk time, of the
+three access methods the paper considers:
+
+* a full sequential table scan (:func:`scan_cost`);
+* a pipelined secondary index scan, which pays one random seek per tuple
+  visited (:func:`pipelined_lookup_cost`);
+* a sorted (bitmap) secondary index scan in the presence of correlations
+  (:func:`sorted_lookup_cost`), the paper's central formula::
+
+      c_pages    = c_tups / tups_per_page
+      cost       = min(n_lookups * c_per_u *
+                         (seek_cost * btree_height + seq_page_cost * c_pages),
+                       cost_scan)
+
+* a correlation-map lookup (:func:`cm_lookup_cost`), which is the sorted-scan
+  formula evaluated with the CM's bucket-level statistics plus the cost of
+  reading the (small, usually memory-resident) CM itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import CorrelationProfile, HardwareParameters, TableProfile
+
+
+def scan_cost(profile: TableProfile, hw: HardwareParameters) -> float:
+    """Cost of a full sequential scan: ``seq_page_cost * p`` (Section 3)."""
+    return profile.num_pages * hw.seq_page_cost_ms
+
+
+def pipelined_lookup_cost(
+    n_lookups: int,
+    correlation: CorrelationProfile,
+    profile: TableProfile,
+    hw: HardwareParameters,
+) -> float:
+    """Cost of a pipelined (unsorted) secondary B+Tree scan (Section 3.1).
+
+    Each of the ``n_lookups * u_tups`` matching tuples is fetched with a
+    separate descent of ``btree_height`` random seeks::
+
+        cost = n_lookups * u_tups * seek_cost * btree_height
+    """
+    if n_lookups < 0:
+        raise ValueError("n_lookups must be non-negative")
+    return (
+        n_lookups
+        * correlation.u_tups
+        * hw.seek_cost_ms
+        * profile.btree_height
+    )
+
+
+def sorted_lookup_cost(
+    n_lookups: int,
+    correlation: CorrelationProfile,
+    profile: TableProfile,
+    hw: HardwareParameters,
+    *,
+    clamp_to_scan: bool = True,
+) -> float:
+    """Cost of a sorted (bitmap) secondary index scan with correlations.
+
+    This is the paper's Section 4.1 formula.  For each of the ``n_lookups``
+    unclustered values the scan visits ``c_per_u`` clustered values; each
+    visit costs one clustered-index descent (``btree_height`` seeks) plus a
+    sequential read of the ``c_pages`` heap pages holding that clustered
+    value.  The access pattern degenerates into a full scan once it touches a
+    large fraction of the table, so the result is clamped by ``cost_scan``.
+    """
+    if n_lookups < 0:
+        raise ValueError("n_lookups must be non-negative")
+    c_pages = correlation.c_pages(profile.tups_per_page)
+    per_value_cost = (
+        hw.seek_cost_ms * profile.btree_height + hw.seq_page_cost_ms * c_pages
+    )
+    cost = n_lookups * correlation.c_per_u * per_value_cost
+    if clamp_to_scan:
+        return min(cost, scan_cost(profile, hw))
+    return cost
+
+
+@dataclass(frozen=True)
+class CMCostInputs:
+    """Bucket-level statistics describing a correlation-map lookup.
+
+    ``buckets_per_lookup``
+        Average number of *clustered buckets* (or clustered values when the
+        clustered side is unbucketed) returned by the CM per predicated
+        value -- the bucket-level analogue of ``c_per_u``.
+    ``pages_per_bucket``
+        Average number of contiguous heap pages covered by one clustered
+        bucket -- the bucket-level analogue of ``c_pages``.
+    ``cm_pages``
+        Size of the CM itself in pages.  CMs normally stay cached, but a
+        cold lookup must read them; keeping the term makes the size/
+        performance trade-off of Figure 7 visible to the model.
+    ``cm_resident``
+        Whether the CM is assumed to be cached in RAM (the common case).
+    """
+
+    buckets_per_lookup: float
+    pages_per_bucket: float
+    cm_pages: float = 1.0
+    cm_resident: bool = True
+
+
+def cm_lookup_cost(
+    n_lookups: int,
+    inputs: CMCostInputs,
+    profile: TableProfile,
+    hw: HardwareParameters,
+    *,
+    clamp_to_scan: bool = True,
+) -> float:
+    """Cost of answering ``n_lookups`` predicated values through a CM.
+
+    The structure of the formula is identical to :func:`sorted_lookup_cost`,
+    with value-level statistics replaced by bucket-level statistics: for each
+    predicated value the executor visits ``buckets_per_lookup`` clustered
+    buckets, paying a clustered-index descent plus a sequential sweep of the
+    bucket's pages.  Reading the CM itself costs one sequential pass over its
+    pages when it is not memory resident.
+    """
+    if n_lookups < 0:
+        raise ValueError("n_lookups must be non-negative")
+    per_bucket_cost = (
+        hw.seek_cost_ms * profile.btree_height
+        + hw.seq_page_cost_ms * inputs.pages_per_bucket
+    )
+    cost = n_lookups * inputs.buckets_per_lookup * per_bucket_cost
+    if not inputs.cm_resident:
+        cost += hw.seek_cost_ms + hw.seq_page_cost_ms * inputs.cm_pages
+    if clamp_to_scan:
+        return min(cost, scan_cost(profile, hw))
+    return cost
+
+
+def speedup_over_scan(
+    lookup_cost: float, profile: TableProfile, hw: HardwareParameters
+) -> float:
+    """How many times faster than a table scan a lookup is (>= 1 is a win)."""
+    if lookup_cost <= 0:
+        return float("inf")
+    return scan_cost(profile, hw) / lookup_cost

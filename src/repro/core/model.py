@@ -1,0 +1,89 @@
+"""Statistics and hardware parameters used by the analytical cost model.
+
+These dataclasses mirror Tables 1 and 2 of the paper:
+
+Table 1 (per-table statistics and hardware parameters)
+    ``tups_per_page``, ``total_tups``, ``btree_height``, ``n_lookups``,
+    ``u_tups``, ``seq_page_cost``, ``seek_cost``.
+
+Table 2 (per attribute-pair correlation statistics)
+    ``c_tups``  -- average number of tuples with each clustered value ``Ac``;
+    ``c_per_u`` -- average number of distinct ``Ac`` values co-occurring with
+    each unclustered value ``Au`` (the soft-FD strength, as in CORDS).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.storage.disk import DiskParameters
+
+
+@dataclass(frozen=True)
+class HardwareParameters:
+    """Disk timing constants of the experimental platform (Table 1)."""
+
+    seek_cost_ms: float = 5.5
+    seq_page_cost_ms: float = 0.078
+
+    @classmethod
+    def from_disk(cls, params: DiskParameters) -> "HardwareParameters":
+        """Derive model parameters from the simulated disk's parameters."""
+        return cls(
+            seek_cost_ms=params.seek_cost_ms,
+            seq_page_cost_ms=params.seq_page_cost_ms,
+        )
+
+
+@dataclass(frozen=True)
+class TableProfile:
+    """Per-table statistics required by every cost formula (Table 1)."""
+
+    total_tups: int
+    tups_per_page: int
+    btree_height: int = 3
+
+    def __post_init__(self) -> None:
+        if self.total_tups < 0:
+            raise ValueError("total_tups must be non-negative")
+        if self.tups_per_page <= 0:
+            raise ValueError("tups_per_page must be positive")
+        if self.btree_height < 1:
+            raise ValueError("btree_height must be at least 1")
+
+    @property
+    def num_pages(self) -> int:
+        """Number of heap pages ``p = total_tups / tups_per_page``."""
+        return max(1, math.ceil(self.total_tups / self.tups_per_page))
+
+
+@dataclass(frozen=True)
+class CorrelationProfile:
+    """Correlation statistics for one (Au, Ac) attribute pair (Table 2).
+
+    ``u_tups`` (from Table 1) is carried here as well because it describes the
+    unclustered attribute of the same pair and is needed by the pipelined
+    lookup cost.
+    """
+
+    #: Average number of distinct clustered values per unclustered value.
+    c_per_u: float
+    #: Average number of tuples carrying each clustered value.
+    c_tups: float
+    #: Average number of tuples carrying each unclustered value.
+    u_tups: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.c_per_u < 0:
+            raise ValueError("c_per_u must be non-negative")
+        if self.c_tups < 0:
+            raise ValueError("c_tups must be non-negative")
+        if self.u_tups < 0:
+            raise ValueError("u_tups must be non-negative")
+
+    def c_pages(self, tups_per_page: int) -> float:
+        """``c_pages = c_tups / tups_per_page`` (Section 4.1)."""
+        if tups_per_page <= 0:
+            raise ValueError("tups_per_page must be positive")
+        return self.c_tups / tups_per_page

@@ -1,0 +1,196 @@
+"""Computing the correlation statistics of the cost model (Section 4.2).
+
+The central statistic is ``c_per_u``: the average number of distinct
+clustered-attribute values that co-occur with each unclustered value::
+
+    c_per_u = D(Au, Ac) / D(Au)
+
+where ``D(.)`` counts distinct values.  The collector computes these counts
+either exactly (one pass over the rows) or from estimators:
+
+* Distinct Sampling (Gibbons) for single-attribute cardinalities, which needs
+  a full scan but is highly accurate;
+* the Adaptive Estimator (Charikar et al.) over an in-memory random sample,
+  used by the CM Advisor when it must evaluate hundreds of candidate
+  composite keys quickly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core.composite import CompositeKeySpec
+from repro.core.model import CorrelationProfile
+from repro.sampling.adaptive import adaptive_estimate
+from repro.sampling.distinct import DistinctSampler
+from repro.sampling.reservoir import ReservoirSampler
+
+
+def c_per_u_from_cardinalities(distinct_uc: float, distinct_u: float) -> float:
+    """``c_per_u = D(Au, Ac) / D(Au)`` (Section 4.2)."""
+    if distinct_u <= 0:
+        raise ValueError("distinct count of the unclustered attribute must be positive")
+    return distinct_uc / distinct_u
+
+
+@dataclass(frozen=True)
+class AttributeSummary:
+    """Exact summary of one attribute (or composite key)."""
+
+    distinct_values: int
+    total_rows: int
+
+    @property
+    def tuples_per_value(self) -> float:
+        """Average number of tuples carrying each value (``u_tups``/``c_tups``)."""
+        if self.distinct_values == 0:
+            return 0.0
+        return self.total_rows / self.distinct_values
+
+
+class StatisticsCollector:
+    """Computes Table 1 / Table 2 statistics over a collection of rows.
+
+    The collector works on plain row dictionaries so that it can be used both
+    by the engine (exact statistics at clustering time) and by the advisor
+    (estimates over samples).
+    """
+
+    def __init__(self, rows: Sequence[Mapping[str, Any]]) -> None:
+        self._rows = rows
+
+    @property
+    def total_rows(self) -> int:
+        return len(self._rows)
+
+    # -- exact statistics -------------------------------------------------------
+
+    def summarize(self, key_spec: CompositeKeySpec | str) -> AttributeSummary:
+        """Exact distinct count for an attribute or bucketed composite key."""
+        spec = self._as_spec(key_spec)
+        seen = {spec.key_of(row) for row in self._rows}
+        return AttributeSummary(distinct_values=len(seen), total_rows=len(self._rows))
+
+    def correlation_profile(
+        self,
+        unclustered: CompositeKeySpec | str,
+        clustered: CompositeKeySpec | str,
+    ) -> CorrelationProfile:
+        """Exact Table 2 statistics for the pair (Au, Ac)."""
+        u_spec = self._as_spec(unclustered)
+        c_spec = self._as_spec(clustered)
+        u_values = set()
+        c_values = set()
+        uc_values = set()
+        for row in self._rows:
+            u_key = u_spec.key_of(row)
+            c_key = c_spec.key_of(row)
+            u_values.add(u_key)
+            c_values.add(c_key)
+            uc_values.add((u_key, c_key))
+        total = len(self._rows)
+        if not u_values or not c_values:
+            return CorrelationProfile(c_per_u=0.0, c_tups=0.0, u_tups=0.0)
+        return CorrelationProfile(
+            c_per_u=c_per_u_from_cardinalities(len(uc_values), len(u_values)),
+            c_tups=total / len(c_values),
+            u_tups=total / len(u_values),
+        )
+
+    # -- estimated statistics -----------------------------------------------------
+
+    def distinct_sampling_estimate(
+        self, attribute: str, *, sample_size: int = 4096, seed: int = 0
+    ) -> float:
+        """Single-attribute cardinality via Gibbons' Distinct Sampling."""
+        sampler = DistinctSampler(sample_size, seed=seed)
+        for row in self._rows:
+            sampler.add(row[attribute])
+        return sampler.estimate()
+
+    def collect_sample(
+        self, *, sample_size: int = 30_000, seed: int = 0
+    ) -> list[Mapping[str, Any]]:
+        """A uniform random row sample (collected during the same scan)."""
+        reservoir = ReservoirSampler(sample_size, seed=seed)
+        reservoir.extend(self._rows)
+        return reservoir.sample
+
+    def estimated_correlation_profile(
+        self,
+        unclustered: CompositeKeySpec | str,
+        clustered: CompositeKeySpec | str,
+        sample: Sequence[Mapping[str, Any]] | None = None,
+        *,
+        sample_size: int = 30_000,
+        seed: int = 0,
+        total_rows: int | None = None,
+    ) -> CorrelationProfile:
+        """Table 2 statistics estimated with the Adaptive Estimator.
+
+        ``sample`` may be supplied so that the advisor can reuse one sample
+        across hundreds of candidate designs (as in Section 6.1.3).
+        ``total_rows`` overrides the population size the sample is scaled to;
+        this lets the advisor treat the rows it was given as a sample of a
+        larger deployed table.
+        """
+        u_spec = self._as_spec(unclustered)
+        c_spec = self._as_spec(clustered)
+        if sample is None:
+            sample = self.collect_sample(sample_size=sample_size, seed=seed)
+        if not sample:
+            return CorrelationProfile(c_per_u=0.0, c_tups=0.0, u_tups=0.0)
+        total = max(total_rows or len(self._rows), len(sample))
+        u_keys = [u_spec.key_of(row) for row in sample]
+        c_keys = [c_spec.key_of(row) for row in sample]
+        uc_keys = list(zip(u_keys, c_keys))
+        d_u = adaptive_estimate(u_keys, total)
+        d_c = adaptive_estimate(c_keys, total)
+        d_uc = adaptive_estimate(uc_keys, total)
+        # A pair cannot be rarer than either of its parts.
+        d_uc = max(d_uc, d_u, d_c)
+        return CorrelationProfile(
+            c_per_u=c_per_u_from_cardinalities(d_uc, d_u),
+            c_tups=total / max(d_c, 1.0),
+            u_tups=total / max(d_u, 1.0),
+        )
+
+    # -- helpers ---------------------------------------------------------------------
+
+    @staticmethod
+    def _as_spec(key: CompositeKeySpec | str) -> CompositeKeySpec:
+        if isinstance(key, CompositeKeySpec):
+            return key
+        return CompositeKeySpec.build([key])
+
+
+def exact_c_per_u(
+    rows: Iterable[Mapping[str, Any]],
+    unclustered: CompositeKeySpec | str,
+    clustered: CompositeKeySpec | str,
+) -> float:
+    """Convenience function: exact ``c_per_u`` over an iterable of rows.
+
+    Both sides accept either a plain attribute name or a (possibly bucketed)
+    :class:`CompositeKeySpec`.
+    """
+    u_spec = (
+        unclustered
+        if isinstance(unclustered, CompositeKeySpec)
+        else CompositeKeySpec.build([unclustered])
+    )
+    c_spec = (
+        clustered
+        if isinstance(clustered, CompositeKeySpec)
+        else CompositeKeySpec.build([clustered])
+    )
+    u_values = set()
+    uc_values = set()
+    for row in rows:
+        u_key = u_spec.key_of(row)
+        u_values.add(u_key)
+        uc_values.add((u_key, c_spec.key_of(row)))
+    if not u_values:
+        return 0.0
+    return len(uc_values) / len(u_values)

@@ -1,0 +1,36 @@
+"""Synthetic data sets and workloads reproducing the paper's evaluation inputs.
+
+The paper evaluates on three data sets; none of the original files ship with
+this repository (the eBay category feed and the SDSS extract are not
+redistributable), so each generator synthesises data with the same schema and
+-- crucially -- the same correlation structure the experiments exploit:
+
+* :mod:`repro.datasets.ebay` -- a product-catalog hierarchy where ``Price``
+  soft-determines ``CATID`` and ``CAT1..CAT6`` roll it up;
+* :mod:`repro.datasets.tpch` -- the TPC-H ``lineitem`` table, where
+  ``shipdate``/``receiptdate`` and ``partkey``/``suppkey`` are correlated;
+* :mod:`repro.datasets.sdss` -- a sky-survey catalogue whose object id is
+  assigned in scan order, making ``fieldID`` and the photometric magnitudes
+  correlated with it while ``(ra, dec)`` only determines it jointly.
+
+Row counts are scaled down by default so that every experiment runs on a
+laptop in seconds; each generator takes an explicit row count, and the
+benchmarks honour the ``REPRO_SCALE`` environment variable.
+"""
+
+from repro.datasets.ebay import EbayConfig, generate_categories, generate_items
+from repro.datasets.tpch import TPCHConfig, generate_lineitem
+from repro.datasets.sdss import SDSSConfig, generate_photoobj, photoobj_attributes
+from repro.datasets import workloads
+
+__all__ = [
+    "EbayConfig",
+    "generate_categories",
+    "generate_items",
+    "TPCHConfig",
+    "generate_lineitem",
+    "SDSSConfig",
+    "generate_photoobj",
+    "photoobj_attributes",
+    "workloads",
+]

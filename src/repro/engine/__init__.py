@@ -1,0 +1,27 @@
+"""Query processing engine built on the storage and index substrates.
+
+The engine plays the role PostgreSQL plays in the paper's prototype: it owns
+heap files, clustered and secondary B+Tree indexes, executes sequential,
+pipelined, sorted (bitmap) and correlation-map scans, maintains all access
+structures under inserts/deletes with write-ahead logging, and chooses access
+paths with the correlation-aware cost model.
+"""
+
+from repro.engine.schema import TableSchema
+from repro.engine.predicates import Between, Equals, InSet, PredicateSet
+from repro.engine.query import Aggregate, Query, QueryResult
+from repro.engine.database import Database
+from repro.engine.table import Table
+
+__all__ = [
+    "TableSchema",
+    "Equals",
+    "InSet",
+    "Between",
+    "PredicateSet",
+    "Aggregate",
+    "Query",
+    "QueryResult",
+    "Database",
+    "Table",
+]

@@ -1,0 +1,256 @@
+"""Access paths: how a selection actually reads the table.
+
+Four access methods are implemented, mirroring Sections 3 and 5 of the paper:
+
+``SeqScan``
+    Read every heap page sequentially and filter.
+
+``PipelinedIndexScan``
+    Probe the secondary B+Tree per predicated value and fetch each matching
+    tuple immediately, in index order -- one random heap page read per tuple.
+    This is the access pattern whose cost explodes without correlations.
+
+``SortedIndexScan``
+    PostgreSQL's bitmap heap scan (the paper's "sorted index scan"): probe the
+    secondary B+Tree for all predicated values, collect the RIDs, sort them
+    into a page bitmap and sweep the heap in page order.
+
+``CorrelationMapScan``
+    The CM-based plan: look up the predicated values in the CM, rewrite the
+    query into clustered-index lookups on the returned clustered values (or
+    clustered bucket ids), sweep those page ranges and re-apply the original
+    predicate to drop false positives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.correlation_map import CorrelationMap
+from repro.core.rewriter import QueryRewriter
+from repro.engine.predicates import Between, Equals, InSet, Predicate, PredicateSet
+from repro.engine.table import BUCKET_COLUMN, Table
+from repro.index.bitmap import PageBitmap
+from repro.index.secondary import SecondaryIndex
+from repro.storage.page import RID
+
+
+@dataclass
+class AccessResult:
+    """Rows produced by an access path plus its execution counters."""
+
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    rows_examined: int = 0
+    pages_visited: int = 0
+    lookups: int = 0
+    rewritten_sql: str | None = None
+
+
+class AccessPath:
+    """Base class for executable access paths."""
+
+    name = "access"
+
+    def __init__(self, table: Table, predicates: PredicateSet) -> None:
+        self.table = table
+        self.predicates = predicates
+
+    def execute(self) -> AccessResult:
+        raise NotImplementedError
+
+    def _charge_cpu(self, rows_examined: int) -> None:
+        self.table.buffer_pool.disk.charge_cpu_tuples(rows_examined)
+
+
+class SeqScan(AccessPath):
+    """Full sequential scan with a residual filter."""
+
+    name = "seq_scan"
+
+    def execute(self) -> AccessResult:
+        result = AccessResult()
+        for _rid, row in self.table.heap.scan():
+            result.rows_examined += 1
+            if self.predicates.matches(row):
+                result.rows.append(row)
+        result.pages_visited = self.table.heap.num_pages
+        self._charge_cpu(result.rows_examined)
+        return result
+
+
+def _lookup_values_for_index(
+    index: SecondaryIndex, predicates: PredicateSet
+) -> tuple[list[Any], list[tuple[Any, Any]]]:
+    """Values and ranges an index scan should probe for ``predicates``.
+
+    Returns ``(point_keys, ranges)``.  For composite indexes only equality
+    predicates over every attribute produce point keys; otherwise the scan
+    falls back to a range over the first (prefix) attribute -- the limitation
+    Experiment 5 highlights for B+Tree(ra, dec).
+    """
+    attrs = index.attributes
+    predicates_by_attr = {p.attribute: p for p in predicates.indexable_predicates()}
+    if all(
+        isinstance(predicates_by_attr.get(attr), (Equals, InSet)) for attr in attrs
+    ):
+        from itertools import product
+
+        value_lists = [list(predicates_by_attr[attr].lookup_values) for attr in attrs]
+        keys = [
+            combo[0] if len(attrs) == 1 else tuple(combo)
+            for combo in product(*value_lists)
+        ]
+        return keys, []
+    prefix = attrs[0]
+    predicate = predicates_by_attr.get(prefix)
+    if predicate is None:
+        raise ValueError(
+            f"index on {attrs} is not applicable: no predicate on prefix {prefix!r}"
+        )
+    if isinstance(predicate, (Equals, InSet)):
+        if len(attrs) == 1:
+            return list(predicate.lookup_values), []
+        return [], [(value, value) for value in predicate.lookup_values]
+    if isinstance(predicate, Between):
+        return [], [(predicate.low, predicate.high)]
+    raise ValueError(f"unsupported predicate {predicate!r} for an index scan")
+
+
+def _probe_index(
+    index: SecondaryIndex, predicates: PredicateSet
+) -> tuple[list[RID], int]:
+    """All RIDs matching the indexable predicates, plus the lookup count."""
+    keys, ranges = _lookup_values_for_index(index, predicates)
+    rids: list[RID] = []
+    lookups = 0
+    for key in keys:
+        rids.extend(index.probe(key))
+        lookups += 1
+    for low, high in ranges:
+        lookups += 1
+        # Composite keys can only use their leading attribute for a range
+        # predicate; the remaining attributes are residual filters.
+        rids.extend(index.probe_prefix_range(low, high))
+    return rids, lookups
+
+
+class SortedIndexScan(AccessPath):
+    """Bitmap heap scan driven by a secondary B+Tree (Section 3.2)."""
+
+    name = "sorted_index_scan"
+
+    def __init__(
+        self, table: Table, index: SecondaryIndex, predicates: PredicateSet
+    ) -> None:
+        super().__init__(table, predicates)
+        self.index = index
+
+    def execute(self) -> AccessResult:
+        result = AccessResult()
+        rids, result.lookups = _probe_index(self.index, self.predicates)
+        bitmap = PageBitmap(rid.page_no for rid in rids)
+        result.pages_visited = len(bitmap)
+        for _rid, row in self.table.heap.scan_pages(bitmap.pages()):
+            result.rows_examined += 1
+            if self.predicates.matches(row):
+                result.rows.append(row)
+        self._charge_cpu(result.rows_examined)
+        return result
+
+
+class PipelinedIndexScan(AccessPath):
+    """Per-tuple random fetches in index order (Section 3.1)."""
+
+    name = "pipelined_index_scan"
+
+    def __init__(
+        self, table: Table, index: SecondaryIndex, predicates: PredicateSet
+    ) -> None:
+        super().__init__(table, predicates)
+        self.index = index
+
+    def execute(self) -> AccessResult:
+        result = AccessResult()
+        rids, result.lookups = _probe_index(self.index, self.predicates)
+        visited_pages = set()
+        for rid in rids:
+            row = self.table.heap.fetch(rid)
+            visited_pages.add(rid.page_no)
+            if row is None:
+                continue
+            result.rows_examined += 1
+            if self.predicates.matches(row):
+                result.rows.append(row)
+        result.pages_visited = len(visited_pages)
+        self._charge_cpu(result.rows_examined)
+        return result
+
+
+class ClusteredIndexScan(AccessPath):
+    """A range/equality scan on the clustered attribute itself."""
+
+    name = "clustered_index_scan"
+
+    def execute(self) -> AccessResult:
+        result = AccessResult()
+        clustered_attr = self.table.clustered_attribute
+        index = self.table.clustered_index
+        if clustered_attr is None or index is None:
+            raise RuntimeError("table is not clustered")
+        predicate = self.predicates.on_attribute(clustered_attr)
+        if predicate is None:
+            raise ValueError(f"no predicate on the clustered attribute {clustered_attr!r}")
+        pages: set[int] = set()
+        if isinstance(predicate, Between):
+            pages.update(index.pages_for_range(predicate.low, predicate.high))
+            result.lookups = 1
+        else:
+            for value in predicate.lookup_values or ():
+                pages.update(index.pages_for_value(value))
+                result.lookups += 1
+        pages.update(self.table.tail_pages())
+        for _rid, row in self.table.heap.scan_pages(sorted(pages)):
+            result.rows_examined += 1
+            if self.predicates.matches(row):
+                result.rows.append(row)
+        result.pages_visited = len(pages)
+        self._charge_cpu(result.rows_examined)
+        return result
+
+
+class CorrelationMapScan(AccessPath):
+    """The CM-driven plan (Section 5.2 and the Figure 4 walk-through)."""
+
+    name = "cm_scan"
+
+    def __init__(self, table: Table, cm: CorrelationMap, predicates: PredicateSet) -> None:
+        super().__init__(table, predicates)
+        self.cm = cm
+        self.uses_buckets = table.cm_uses_buckets(cm.name)
+
+    def execute(self) -> AccessResult:
+        result = AccessResult()
+        clustered_column = BUCKET_COLUMN if self.uses_buckets else None
+        rewriter = QueryRewriter(self.cm, clustered_column=clustered_column)
+        constraints = self.predicates.constraints()
+        rewritten = rewriter.rewrite(constraints)
+        result.rewritten_sql = rewritten.to_sql(self.table.name)
+        result.lookups = len(rewritten.clustered_values)
+        if rewritten.is_empty:
+            return result
+        pages = self.table.pages_for_targets(
+            rewritten.clustered_values, uses_buckets=self.uses_buckets
+        )
+        # One clustered-index descent per contiguous group of targets.
+        if self.table.clustered_index is not None:
+            groups = PageBitmap(pages).num_runs
+            for _ in range(groups):
+                self.table.clustered_index._charge_descent()
+        result.pages_visited = len(pages)
+        for _rid, row in self.table.heap.scan_pages(pages):
+            result.rows_examined += 1
+            if self.predicates.matches(row):
+                result.rows.append(row)
+        self._charge_cpu(result.rows_examined)
+        return result

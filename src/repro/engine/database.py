@@ -1,0 +1,291 @@
+"""The Database facade: the public entry point of the execution engine.
+
+A :class:`Database` plays the role of the PostgreSQL instance plus the
+Java front-end in the paper's prototype (Figure 5): it owns the simulated
+disk, the buffer pool, the WAL, all tables with their indexes and correlation
+maps, rewrites and executes queries, and maintains every structure under
+inserts and deletes with transactional logging.
+
+Typical use::
+
+    db = Database(buffer_pool_pages=2_000)
+    db.create_table("items", columns=["catid", "price", "itemid"])
+    db.load("items", rows)
+    db.cluster("items", "catid", pages_per_bucket=10)
+    db.create_correlation_map("items", ["price"], bucketers={"price": WidthBucketer(64)})
+    result = db.query(Query.select("items", Between("price", 1000, 1100)))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core.bucketing import Bucketer
+from repro.core.model import HardwareParameters
+from repro.engine.planner import Planner
+from repro.engine.predicates import Predicate, PredicateSet
+from repro.engine.query import Query, QueryResult
+from repro.engine.schema import TableSchema
+from repro.engine.table import Table
+from repro.engine.transactions import TransactionManager
+from repro.index.secondary import SecondaryIndex
+from repro.core.correlation_map import CorrelationMap
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.disk import DiskModel, DiskParameters
+from repro.storage.page import RID
+from repro.storage.wal import WriteAheadLog
+
+#: Default buffer pool size (in pages).  Scaled down together with the data
+#: sets from the paper's 1 GB of RAM over multi-gigabyte tables.
+DEFAULT_BUFFER_POOL_PAGES = 2_000
+
+
+@dataclass
+class MaintenanceResult:
+    """Outcome of a batch of inserts or deletes."""
+
+    rows_affected: int = 0
+    elapsed_ms: float = 0.0
+    pages_written: int = 0
+    log_flushes: int = 0
+    dirty_evictions: int = 0
+
+    @property
+    def rows_per_second(self) -> float:
+        if self.elapsed_ms <= 0:
+            return float("inf")
+        return self.rows_affected / (self.elapsed_ms / 1000.0)
+
+
+class Database:
+    """An in-process analytical database engine with correlation maps."""
+
+    def __init__(
+        self,
+        *,
+        disk_params: DiskParameters | None = None,
+        buffer_pool_pages: int = DEFAULT_BUFFER_POOL_PAGES,
+    ) -> None:
+        self.disk = DiskModel(disk_params)
+        self.buffer_pool = BufferPool(self.disk, capacity_pages=buffer_pool_pages)
+        self.wal = WriteAheadLog(self.disk)
+        self.transactions = TransactionManager(self.wal)
+        self.hardware = HardwareParameters.from_disk(self.disk.params)
+        self.planner = Planner(self.hardware)
+        self.tables: dict[str, Table] = {}
+
+    # -- DDL ---------------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        *,
+        columns: Sequence[str] | None = None,
+        schema: TableSchema | None = None,
+        sample_row: Mapping[str, Any] | None = None,
+        tups_per_page: int | None = None,
+    ) -> Table:
+        """Create a table from a schema, a column list, or an example row."""
+        if name in self.tables:
+            raise ValueError(f"table {name!r} already exists")
+        if schema is None:
+            if sample_row is not None:
+                schema = TableSchema.infer(name, sample_row)
+            elif columns is not None:
+                schema = TableSchema.from_columns(name, columns)
+            else:
+                raise ValueError("provide a schema, columns, or a sample row")
+        table = Table(schema, self.buffer_pool, tups_per_page=tups_per_page)
+        self.tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        self.table(name)  # raises if missing
+        self.buffer_pool.drop_file(name)
+        del self.tables[name]
+
+    def table(self, name: str) -> Table:
+        if name not in self.tables:
+            raise KeyError(f"unknown table {name!r}")
+        return self.tables[name]
+
+    def load(self, name: str, rows: Iterable[Mapping[str, Any]]) -> int:
+        """Bulk load rows into a table (initial population)."""
+        return self.table(name).load(rows)
+
+    def cluster(
+        self, name: str, attribute: str, *, pages_per_bucket: int | None = None
+    ) -> None:
+        """CLUSTER the table on ``attribute`` (optionally assigning bucket ids)."""
+        self.table(name).cluster_on(attribute, pages_per_bucket=pages_per_bucket)
+
+    def create_secondary_index(
+        self, table: str, attributes: Sequence[str] | str, *, name: str | None = None
+    ) -> SecondaryIndex:
+        return self.table(table).create_secondary_index(attributes, name=name)
+
+    def create_correlation_map(
+        self,
+        table: str,
+        attributes: Sequence[str] | str,
+        *,
+        bucketers: Mapping[str, Bucketer] | None = None,
+        name: str | None = None,
+        use_clustered_buckets: bool = True,
+    ) -> CorrelationMap:
+        return self.table(table).create_correlation_map(
+            attributes,
+            bucketers=bucketers,
+            name=name,
+            use_clustered_buckets=use_clustered_buckets,
+        )
+
+    # -- queries -----------------------------------------------------------------------
+
+    def query(
+        self,
+        query: Query,
+        *,
+        force: str | None = None,
+        cold_cache: bool = False,
+    ) -> QueryResult:
+        """Plan and execute a query, returning rows/value plus I/O statistics.
+
+        ``force`` pins the access method (one of the names in
+        :data:`repro.engine.planner.FORCE_METHODS`); ``cold_cache=True``
+        empties the buffer pool first, matching the paper's methodology of
+        dropping caches between measured runs.
+        """
+        table = self.table(query.table)
+        if cold_cache:
+            self.drop_caches()
+        plan = self.planner.choose(table, query, force=force)
+        before = self.disk.snapshot()
+        outcome = plan.path.execute()
+        io = self.disk.window_since(before)
+        result = QueryResult(
+            query=query,
+            access_method=plan.method,
+            rows=outcome.rows,
+            rows_examined=outcome.rows_examined,
+            rows_matched=len(outcome.rows),
+            pages_visited=outcome.pages_visited,
+            io=io,
+            elapsed_ms=io.elapsed_ms(self.disk.params),
+            estimated_cost_ms=plan.estimated_cost_ms,
+            rewritten_sql=outcome.rewritten_sql,
+        )
+        if query.aggregate is not None:
+            result.value = query.aggregate.compute(outcome.rows)
+        return result
+
+    def explain(self, query: Query) -> list[dict[str, Any]]:
+        """The planner's candidate plans and estimated costs (for inspection)."""
+        table = self.table(query.table)
+        plans = self.planner.candidate_plans(table, query)
+        return [
+            {
+                "method": plan.method,
+                "structure": plan.structure,
+                "estimated_cost_ms": plan.estimated_cost_ms,
+            }
+            for plan in sorted(plans, key=lambda p: p.estimated_cost_ms)
+        ]
+
+    # -- DML with maintenance --------------------------------------------------------------
+
+    def insert(
+        self,
+        table: str,
+        rows: Iterable[Mapping[str, Any]],
+        *,
+        batch_size: int | None = None,
+        two_phase_commit: bool = True,
+    ) -> MaintenanceResult:
+        """Insert rows, maintaining heap, secondary indexes, CMs and the WAL.
+
+        Rows are committed in batches (``batch_size=None`` commits once at the
+        end), which is the data-warehouse loading pattern of Experiment 3.
+        """
+        target = self.table(table)
+        rows = list(rows)
+        before = self.disk.snapshot()
+        pool_before = self.buffer_pool.stats.dirty_evictions
+        affected = 0
+        transaction = self.transactions.begin()
+        for row in rows:
+            rid = target.insert_row(row)
+            transaction.log("insert", {"table": table, "rid": (rid.page_no, rid.slot)})
+            for cm in target.correlation_maps.values():
+                transaction.log("cm_update", {"cm": cm.name}, size_bytes=32)
+            affected += 1
+            if batch_size and affected % batch_size == 0:
+                transaction.commit(two_phase=two_phase_commit)
+                transaction = self.transactions.begin()
+        if not transaction.closed and transaction.records:
+            transaction.commit(two_phase=two_phase_commit)
+        io = self.disk.window_since(before)
+        return MaintenanceResult(
+            rows_affected=affected,
+            elapsed_ms=io.elapsed_ms(self.disk.params),
+            pages_written=io.pages_written,
+            log_flushes=io.log_flushes,
+            dirty_evictions=self.buffer_pool.stats.dirty_evictions - pool_before,
+        )
+
+    def delete(
+        self,
+        table: str,
+        predicates: PredicateSet | Sequence[Predicate],
+        *,
+        two_phase_commit: bool = True,
+    ) -> MaintenanceResult:
+        """Delete every row matching ``predicates`` (found with a seq scan)."""
+        target = self.table(table)
+        if not isinstance(predicates, PredicateSet):
+            predicates = PredicateSet(predicates)
+        before = self.disk.snapshot()
+        victims: list[RID] = [
+            rid
+            for rid, row in target.heap.scan()
+            if predicates.matches(row)
+        ]
+        transaction = self.transactions.begin()
+        affected = 0
+        for rid in victims:
+            row = target.delete_row(rid)
+            if row is None:
+                continue
+            transaction.log("delete", {"table": table, "rid": (rid.page_no, rid.slot)})
+            for cm in target.correlation_maps.values():
+                transaction.log("cm_update", {"cm": cm.name}, size_bytes=32)
+            affected += 1
+        transaction.commit(two_phase=two_phase_commit)
+        io = self.disk.window_since(before)
+        return MaintenanceResult(
+            rows_affected=affected,
+            elapsed_ms=io.elapsed_ms(self.disk.params),
+            pages_written=io.pages_written,
+            log_flushes=io.log_flushes,
+        )
+
+    # -- cache and measurement control -------------------------------------------------------
+
+    def drop_caches(self) -> None:
+        """Cold-cache the buffer pool (the paper's drop_caches between runs)."""
+        self.buffer_pool.clear()
+
+    def checkpoint(self) -> int:
+        """Flush all dirty pages and truncate the log; returns pages written."""
+        written = self.buffer_pool.flush_all()
+        self.wal.flush()
+        self.wal.truncate()
+        return written
+
+    def elapsed_ms(self) -> float:
+        """Total simulated time since the last reset."""
+        return self.disk.elapsed_ms()
+
+    def reset_measurements(self) -> None:
+        self.disk.reset()

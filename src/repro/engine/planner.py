@@ -1,0 +1,231 @@
+"""Cost-based access-path selection.
+
+The planner enumerates the applicable access paths for a query -- sequential
+scan, sorted secondary-index scan, clustered-index scan and correlation-map
+scan -- estimates each with the correlation-aware cost model of Section 4,
+and picks the cheapest.  A specific method can also be forced, which is how
+the benchmarks compare access paths against each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cost import (
+    CMCostInputs,
+    cm_lookup_cost,
+    pipelined_lookup_cost,
+    scan_cost,
+    sorted_lookup_cost,
+)
+from repro.core.model import HardwareParameters
+from repro.engine.access import (
+    AccessPath,
+    ClusteredIndexScan,
+    CorrelationMapScan,
+    PipelinedIndexScan,
+    SeqScan,
+    SortedIndexScan,
+)
+from repro.engine.predicates import Between, Equals, InSet, PredicateSet
+from repro.engine.query import Query
+from repro.engine.table import Table
+
+#: Names accepted by ``force=`` arguments.
+FORCE_METHODS = (
+    "seq_scan",
+    "sorted_index_scan",
+    "pipelined_index_scan",
+    "clustered_index_scan",
+    "cm_scan",
+)
+
+
+@dataclass
+class PlannedAccess:
+    """One candidate plan with its estimated cost."""
+
+    path: AccessPath
+    estimated_cost_ms: float
+    structure: str = ""
+
+    @property
+    def method(self) -> str:
+        return self.path.name
+
+
+class Planner:
+    """Chooses access paths for queries over one database's tables."""
+
+    def __init__(self, hardware: HardwareParameters) -> None:
+        self.hardware = hardware
+
+    # -- lookup-count estimation --------------------------------------------------
+
+    def _estimate_n_lookups(self, table: Table, predicates: PredicateSet, attributes) -> int:
+        """How many distinct values an index/CM will be probed with."""
+        first = attributes[0]
+        predicate = predicates.on_attribute(first)
+        if predicate is None:
+            return 1
+        if isinstance(predicate, Equals):
+            return 1
+        if isinstance(predicate, InSet):
+            return max(1, len(predicate.values))
+        if isinstance(predicate, Between):
+            # Approximate the number of distinct values inside the range from
+            # the attribute's cardinality, assuming a roughly uniform domain.
+            cardinality = table.attribute_cardinality(first)
+            values = [row[first] for row in table.all_rows()]
+            if not values:
+                return 1
+            lo, hi = min(values), max(values)
+            try:
+                span = float(hi) - float(lo)
+                width = float(predicate.high if predicate.high is not None else hi) - float(
+                    predicate.low if predicate.low is not None else lo
+                )
+                fraction = min(1.0, max(0.0, width / span)) if span > 0 else 1.0
+            except (TypeError, ValueError):
+                fraction = 0.1
+            return max(1, int(round(cardinality * fraction)))
+        return 1
+
+    # -- candidate enumeration -------------------------------------------------------
+
+    def candidate_plans(self, table: Table, query: Query) -> list[PlannedAccess]:
+        predicates = query.predicates
+        profile = table.table_profile()
+        plans = [
+            PlannedAccess(
+                path=SeqScan(table, predicates),
+                estimated_cost_ms=scan_cost(profile, self.hardware),
+                structure="heap",
+            )
+        ]
+
+        predicate_attrs = {p.attribute for p in predicates.indexable_predicates()}
+
+        if (
+            table.clustered_attribute is not None
+            and table.clustered_attribute in predicate_attrs
+        ):
+            n = self._estimate_n_lookups(table, predicates, [table.clustered_attribute])
+            corr = table.correlation_profile(table.clustered_attribute)
+            cost = sorted_lookup_cost(n, corr, profile, self.hardware)
+            plans.append(
+                PlannedAccess(
+                    path=ClusteredIndexScan(table, predicates),
+                    estimated_cost_ms=cost,
+                    structure=f"clustered({table.clustered_attribute})",
+                )
+            )
+
+        for name, index in table.secondary_indexes.items():
+            if index.attributes[0] not in predicate_attrs:
+                continue
+            if table.clustered_attribute is None:
+                continue
+            n = self._estimate_n_lookups(table, predicates, index.attributes)
+            corr = table.correlation_profile(list(index.attributes))
+            cost = sorted_lookup_cost(n, corr, profile, self.hardware)
+            plans.append(
+                PlannedAccess(
+                    path=SortedIndexScan(table, index, predicates),
+                    estimated_cost_ms=cost,
+                    structure=name,
+                )
+            )
+
+        for name, cm in table.correlation_maps.items():
+            if not any(attr in predicate_attrs for attr in cm.attributes):
+                continue
+            n = self._estimate_cm_lookups(cm, predicates)
+            pages_per_target = self._pages_per_target(table, cm)
+            inputs = CMCostInputs(
+                buckets_per_lookup=max(1.0, cm.measured_c_per_u()),
+                pages_per_bucket=pages_per_target,
+                cm_pages=cm.size_pages(),
+                cm_resident=True,
+            )
+            cost = cm_lookup_cost(n, inputs, profile, self.hardware)
+            plans.append(
+                PlannedAccess(
+                    path=CorrelationMapScan(table, cm, predicates),
+                    estimated_cost_ms=cost,
+                    structure=name,
+                )
+            )
+        return plans
+
+    def _estimate_cm_lookups(self, cm, predicates: PredicateSet) -> int:
+        """Number of CM keys (buckets) the query's constraints touch.
+
+        The CM is memory resident, so counting its matching keys is cheap and
+        is exactly what the front-end does while rewriting the query; using it
+        keeps the planner's ``n_lookups`` at bucket granularity rather than
+        value granularity for range predicates over bucketed attributes.
+        """
+        constraints = {
+            attr: constraint
+            for attr, constraint in predicates.constraints().items()
+            if attr in cm.attributes
+        }
+        if not constraints:
+            return 1
+        bucket_constraints = cm.key_spec.bucket_constraints(constraints)
+        from repro.core.composite import key_matches
+
+        matching = sum(1 for key in cm.keys() if key_matches(key, bucket_constraints))
+        return max(1, matching)
+
+    def _pages_per_target(self, table: Table, cm) -> float:
+        """Average heap pages covered by one CM target (bucket or value)."""
+        if table.cm_uses_buckets(cm.name) and table.pages_per_bucket:
+            return float(table.pages_per_bucket)
+        profile = table.correlation_profile(table.clustered_attribute)
+        return max(1.0, profile.c_pages(table.tups_per_page))
+
+    # -- selection -----------------------------------------------------------------------
+
+    def choose(self, table: Table, query: Query, *, force: str | None = None) -> PlannedAccess:
+        """Pick the cheapest applicable plan (or the forced one)."""
+        plans = self.candidate_plans(table, query)
+        if force is not None:
+            if force not in FORCE_METHODS:
+                raise ValueError(f"unknown access method {force!r}")
+            if force == "pipelined_index_scan":
+                # Derived from the sorted plan's index, costed per Section 3.1.
+                for plan in plans:
+                    if isinstance(plan.path, SortedIndexScan):
+                        profile = table.table_profile()
+                        corr = table.correlation_profile(list(plan.path.index.attributes))
+                        n = self._estimate_n_lookups(
+                            table, query.predicates, plan.path.index.attributes
+                        )
+                        return PlannedAccess(
+                            path=PipelinedIndexScan(table, plan.path.index, query.predicates),
+                            estimated_cost_ms=pipelined_lookup_cost(
+                                n, corr, profile, self.hardware
+                            ),
+                            structure=plan.structure,
+                        )
+                raise ValueError("no secondary index available for a pipelined scan")
+            matching = [plan for plan in plans if plan.method == force]
+            if not matching:
+                raise ValueError(f"no applicable plan for forced method {force!r}")
+            return min(matching, key=lambda plan: plan.estimated_cost_ms)
+        return min(plans, key=self._plan_rank)
+
+    #: Tie-break order when estimated costs are equal (which happens when all
+    #: alternatives clamp to the scan cost on small tables): prefer the more
+    #: selective structure.
+    _METHOD_PREFERENCE = {
+        "clustered_index_scan": 0,
+        "cm_scan": 1,
+        "sorted_index_scan": 2,
+        "seq_scan": 3,
+    }
+
+    def _plan_rank(self, plan: PlannedAccess) -> tuple[float, int]:
+        return (plan.estimated_cost_ms, self._METHOD_PREFERENCE.get(plan.method, 9))

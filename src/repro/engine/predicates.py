@@ -1,0 +1,180 @@
+"""Selection predicates.
+
+The paper's workloads only need conjunctions of equality, ``IN`` and range
+predicates over single attributes (plus one computed-expression predicate in
+the SDSS Q2 variant, handled as a residual filter), so that is what the
+engine supports.  Predicates convert to the value-level constraints consumed
+by correlation maps and the query rewriter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.core.composite import ValueConstraint
+
+
+class Predicate:
+    """Base class: a condition over one attribute (or a computed expression)."""
+
+    attribute: str
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        raise NotImplementedError
+
+    def constraint(self) -> ValueConstraint:
+        raise NotImplementedError
+
+    @property
+    def lookup_values(self) -> tuple[Any, ...] | None:
+        """The explicit values an index would probe, if enumerable."""
+        return None
+
+
+@dataclass(frozen=True)
+class Equals(Predicate):
+    """``attribute = value``"""
+
+    attribute: str
+    value: Any
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        return row[self.attribute] == self.value
+
+    def constraint(self) -> ValueConstraint:
+        return ValueConstraint.equals(self.value)
+
+    @property
+    def lookup_values(self) -> tuple[Any, ...]:
+        return (self.value,)
+
+    def describe(self) -> str:
+        return f"{self.attribute} = {self.value!r}"
+
+
+@dataclass(frozen=True)
+class InSet(Predicate):
+    """``attribute IN (v1, ..., vN)``"""
+
+    attribute: str
+    values: tuple[Any, ...]
+
+    def __init__(self, attribute: str, values: Iterable[Any]) -> None:
+        object.__setattr__(self, "attribute", attribute)
+        object.__setattr__(self, "values", tuple(values))
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        return row[self.attribute] in self.values
+
+    def constraint(self) -> ValueConstraint:
+        return ValueConstraint.in_set(self.values)
+
+    @property
+    def lookup_values(self) -> tuple[Any, ...]:
+        return self.values
+
+    def describe(self) -> str:
+        return f"{self.attribute} IN ({', '.join(map(repr, self.values))})"
+
+
+@dataclass(frozen=True)
+class Between(Predicate):
+    """``attribute BETWEEN low AND high`` (inclusive; either bound optional)."""
+
+    attribute: str
+    low: Any = None
+    high: Any = None
+
+    def __post_init__(self) -> None:
+        if self.low is None and self.high is None:
+            raise ValueError("a range predicate needs at least one bound")
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        value = row[self.attribute]
+        if self.low is not None and value < self.low:
+            return False
+        if self.high is not None and value > self.high:
+            return False
+        return True
+
+    def constraint(self) -> ValueConstraint:
+        return ValueConstraint.between(self.low, self.high)
+
+    def describe(self) -> str:
+        return f"{self.attribute} BETWEEN {self.low!r} AND {self.high!r}"
+
+
+@dataclass(frozen=True)
+class ExpressionPredicate(Predicate):
+    """A computed-expression filter, e.g. ``g + rho BETWEEN 23 AND 25``.
+
+    Expression predicates cannot be used for index or CM lookups; they are
+    applied as residual filters only.  ``attribute`` names the expression for
+    reporting purposes.
+    """
+
+    attribute: str
+    function: Callable[[Mapping[str, Any]], bool]
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        return bool(self.function(row))
+
+    def constraint(self) -> ValueConstraint:
+        return ValueConstraint()
+
+    def describe(self) -> str:
+        return f"expr({self.attribute})"
+
+
+class PredicateSet:
+    """A conjunction (AND) of predicates."""
+
+    def __init__(self, predicates: Iterable[Predicate] = ()) -> None:
+        self.predicates: tuple[Predicate, ...] = tuple(predicates)
+
+    def __iter__(self):
+        return iter(self.predicates)
+
+    def __len__(self) -> int:
+        return len(self.predicates)
+
+    def __bool__(self) -> bool:
+        return bool(self.predicates)
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        return all(predicate.matches(row) for predicate in self.predicates)
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        return tuple(predicate.attribute for predicate in self.predicates)
+
+    def indexable_predicates(self) -> list[Predicate]:
+        """Predicates usable for index/CM lookups (not expression filters)."""
+        return [p for p in self.predicates if not isinstance(p, ExpressionPredicate)]
+
+    def on_attribute(self, attribute: str) -> Predicate | None:
+        for predicate in self.predicates:
+            if predicate.attribute == attribute and not isinstance(
+                predicate, ExpressionPredicate
+            ):
+                return predicate
+        return None
+
+    def constraints(self) -> dict[str, ValueConstraint]:
+        """Per-attribute value constraints (for CMs and the rewriter)."""
+        return {
+            predicate.attribute: predicate.constraint()
+            for predicate in self.indexable_predicates()
+        }
+
+    def describe(self) -> str:
+        if not self.predicates:
+            return "TRUE"
+        return " AND ".join(
+            getattr(p, "describe", lambda: repr(p))() for p in self.predicates
+        )
+
+    @classmethod
+    def of(cls, *predicates: Predicate) -> "PredicateSet":
+        return cls(predicates)

@@ -1,0 +1,140 @@
+"""Query descriptions and results.
+
+Queries are declarative: a table, a conjunction of predicates and an optional
+aggregate.  Results carry the rows (or the aggregate value) together with the
+simulated I/O statistics of the execution, which is what the experiments
+measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.engine.predicates import Predicate, PredicateSet
+from repro.storage.disk import IOBreakdown
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregate over the selected rows.
+
+    ``kind`` is one of ``count``, ``count_distinct``, ``sum``, ``avg``.
+    ``expression`` is a column name or a callable computing a value per row
+    (e.g. ``extendedprice * discount`` from the paper's Figure 3 query).
+    """
+
+    kind: str
+    expression: str | Callable[[Mapping[str, Any]], Any] | None = None
+
+    _KINDS = ("count", "count_distinct", "sum", "avg")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ValueError(f"unknown aggregate kind {self.kind!r}")
+        if self.kind != "count" and self.expression is None:
+            raise ValueError(f"aggregate {self.kind!r} needs an expression")
+
+    def _value(self, row: Mapping[str, Any]) -> Any:
+        if callable(self.expression):
+            return self.expression(row)
+        return row[self.expression]
+
+    def compute(self, rows: Sequence[Mapping[str, Any]]) -> Any:
+        """Evaluate the aggregate over the matching rows."""
+        if self.kind == "count":
+            return len(rows)
+        values = [self._value(row) for row in rows]
+        if self.kind == "count_distinct":
+            return len(set(values))
+        if self.kind == "sum":
+            return sum(values)
+        if self.kind == "avg":
+            return sum(values) / len(values) if values else None
+        raise AssertionError("unreachable")
+
+    @classmethod
+    def count(cls) -> "Aggregate":
+        return cls("count")
+
+    @classmethod
+    def count_distinct(cls, expression) -> "Aggregate":
+        return cls("count_distinct", expression)
+
+    @classmethod
+    def avg(cls, expression) -> "Aggregate":
+        return cls("avg", expression)
+
+    @classmethod
+    def sum(cls, expression) -> "Aggregate":
+        return cls("sum", expression)
+
+
+@dataclass
+class Query:
+    """A selection (optionally aggregating) query over one table."""
+
+    table: str
+    predicates: PredicateSet
+    aggregate: Aggregate | None = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if isinstance(self.predicates, (list, tuple)):
+            self.predicates = PredicateSet(self.predicates)
+
+    @classmethod
+    def select(
+        cls,
+        table: str,
+        *predicates: Predicate,
+        aggregate: Aggregate | None = None,
+        name: str = "",
+    ) -> "Query":
+        return cls(table=table, predicates=PredicateSet(predicates), aggregate=aggregate, name=name)
+
+    def describe(self) -> str:
+        select_list = "*"
+        if self.aggregate is not None:
+            expression = self.aggregate.expression
+            if expression is None:
+                expr = "*"
+            elif isinstance(expression, str):
+                expr = expression
+            else:
+                expr = "expr"
+            select_list = f"{self.aggregate.kind.upper()}({expr})"
+        return f"SELECT {select_list} FROM {self.table} WHERE {self.predicates.describe()}"
+
+
+@dataclass
+class QueryResult:
+    """The outcome of executing one query."""
+
+    query: Query
+    access_method: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    value: Any = None
+    rows_examined: int = 0
+    rows_matched: int = 0
+    pages_visited: int = 0
+    io: IOBreakdown = field(default_factory=IOBreakdown)
+    elapsed_ms: float = 0.0
+    estimated_cost_ms: float | None = None
+    rewritten_sql: str | None = None
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.elapsed_ms / 1000.0
+
+    @property
+    def false_positive_rows(self) -> int:
+        """Rows fetched but discarded by the residual filter."""
+        return max(0, self.rows_examined - self.rows_matched)
+
+    def summary(self) -> str:
+        return (
+            f"[{self.access_method}] {self.query.describe()} -> "
+            f"{self.rows_matched} rows, {self.pages_visited} pages, "
+            f"{self.elapsed_ms:.1f} ms simulated"
+        )

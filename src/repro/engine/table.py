@@ -1,0 +1,363 @@
+"""Tables: heap file + clustered index + secondary indexes + correlation maps.
+
+A :class:`Table` owns all physical structures for one relation and keeps them
+consistent under loads, re-clustering, inserts and deletes.  Clustering a
+table on an attribute (PostgreSQL's ``CLUSTER``) physically sorts the heap,
+rebuilds the clustered index, optionally assigns clustered *bucket ids*
+(Section 6.1.1 -- "the CM Advisor buckets the clustered attribute by adding a
+new column to the table that represents the bucket ID"), and rebuilds every
+secondary index and CM against the new layout.
+
+Rows inserted after clustering are appended to the unclustered tail of the
+heap, exactly as PostgreSQL would, and are tagged with a special tail bucket
+id so that correlation-map scans still find them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core.bucketing import Bucketer, assign_clustered_buckets
+from repro.core.composite import CompositeKeySpec
+from repro.core.correlation_map import CorrelationMap
+from repro.core.model import CorrelationProfile, TableProfile
+from repro.core.statistics import StatisticsCollector
+from repro.engine.schema import TableSchema
+from repro.index.clustered import ClusteredIndex
+from repro.index.secondary import SecondaryIndex
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.heap import HeapFile
+from repro.storage.page import RID
+
+#: Name of the derived column holding the clustered bucket id.
+BUCKET_COLUMN = "_cm_bucket"
+#: Bucket id given to rows appended after the last clustering.
+TAIL_BUCKET = -1
+
+
+class Table:
+    """One relation and all of its access structures."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        buffer_pool: BufferPool,
+        *,
+        tups_per_page: int | None = None,
+    ) -> None:
+        self.schema = schema
+        self.buffer_pool = buffer_pool
+        page_size = buffer_pool.disk.params.page_size_bytes
+        self.tups_per_page = tups_per_page or schema.tups_per_page(page_size)
+        self.heap = HeapFile(schema.name, self.tups_per_page, buffer_pool)
+
+        self.clustered_attribute: str | None = None
+        self.clustered_index: ClusteredIndex | None = None
+        self.pages_per_bucket: int | None = None
+        self._bucket_key_ranges: list[tuple[Any, Any, int]] = []
+        self._clustered_until_page = 0
+
+        self.secondary_indexes: dict[str, SecondaryIndex] = {}
+        self.correlation_maps: dict[str, CorrelationMap] = {}
+        #: CM name -> True when the CM maps to clustered bucket ids.
+        self._cm_uses_buckets: dict[str, bool] = {}
+
+        self._stats_cache: StatisticsCollector | None = None
+
+    # -- basic properties --------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def num_rows(self) -> int:
+        return self.heap.num_tuples
+
+    @property
+    def num_pages(self) -> int:
+        return self.heap.num_pages
+
+    @property
+    def is_clustered(self) -> bool:
+        return self.clustered_index is not None
+
+    @property
+    def has_clustered_buckets(self) -> bool:
+        return bool(self._bucket_key_ranges)
+
+    def all_rows(self) -> Iterable[dict[str, Any]]:
+        """Every live row, without I/O accounting (catalog / statistics use)."""
+        return self.heap.all_rows()
+
+    def tail_pages(self) -> list[int]:
+        """Heap pages appended after the last clustering (unsorted region)."""
+        return list(range(self._clustered_until_page, self.heap.num_pages))
+
+    # -- loading and clustering -----------------------------------------------------
+
+    def load(self, rows: Iterable[Mapping[str, Any]]) -> int:
+        """Bulk load rows (initial population; no buffer-pool traffic)."""
+        count = 0
+        for row in rows:
+            self.heap.append(dict(row), charge_io=False)
+            count += 1
+        self._invalidate_stats()
+        return count
+
+    def cluster_on(
+        self, attribute: str, *, pages_per_bucket: int | None = None
+    ) -> None:
+        """Physically sort the heap by ``attribute`` and rebuild structures.
+
+        ``pages_per_bucket`` enables clustered-attribute bucketing: roughly
+        that many heap pages map to each bucket id, and every row gains a
+        ``_cm_bucket`` column holding its bucket id.
+        """
+        if not self.schema.has_column(attribute):
+            raise KeyError(f"unknown column {attribute!r} in table {self.name!r}")
+        placed = self.heap.rebuild_clustered(lambda row: row[attribute])
+        self.clustered_attribute = attribute
+        self.clustered_index = ClusteredIndex(
+            f"{self.name}__clustered", attribute, self.buffer_pool
+        )
+        page_bounds = []
+        for page in self.heap.pages:
+            keys = [row[attribute] for _slot, row in page.live_rows()]
+            page_bounds.append((min(keys), max(keys)))
+        self.clustered_index.build(page_bounds)
+        self.heap.seal()
+        self._clustered_until_page = self.heap.num_pages
+
+        self.pages_per_bucket = pages_per_bucket
+        self._bucket_key_ranges = []
+        if pages_per_bucket is not None:
+            self._assign_buckets(placed, attribute, pages_per_bucket)
+
+        self._rebuild_secondary_structures()
+        self._invalidate_stats()
+
+    def _assign_buckets(
+        self,
+        placed: Sequence[tuple[RID, dict[str, Any]]],
+        attribute: str,
+        pages_per_bucket: int,
+    ) -> None:
+        if pages_per_bucket <= 0:
+            raise ValueError("pages_per_bucket must be positive")
+        tuples_per_bucket = pages_per_bucket * self.tups_per_page
+        keys = [row[attribute] for _rid, row in placed]
+        ids, buckets = assign_clustered_buckets(keys, tuples_per_bucket)
+        for (_rid, row), bucket_id in zip(placed, ids):
+            row[BUCKET_COLUMN] = bucket_id
+        self.schema = self.schema.with_column(BUCKET_COLUMN)
+        assert self.clustered_index is not None
+        for bucket in buckets:
+            first_page = placed[bucket.first_row][0].page_no
+            last_page = placed[bucket.last_row][0].page_no
+            self.clustered_index.register_bucket(
+                bucket.bucket_id, first_page, last_page, bucket.min_key, bucket.max_key
+            )
+            self._bucket_key_ranges.append(
+                (bucket.min_key, bucket.max_key, bucket.bucket_id)
+            )
+
+    def _rebuild_secondary_structures(self) -> None:
+        """Rebuild secondary indexes and CMs after a physical reorganisation."""
+        rows_with_rids = list(self.heap.scan(charge_io=False))
+        for name, index in list(self.secondary_indexes.items()):
+            rebuilt = SecondaryIndex(
+                name, index.attributes, self.buffer_pool, order=index.tree.order
+            )
+            rebuilt.build(rows_with_rids)
+            self.secondary_indexes[name] = rebuilt
+        for name, cm in list(self.correlation_maps.items()):
+            self.correlation_maps[name] = self._build_cm(
+                name, cm.key_spec, uses_buckets=self._cm_uses_buckets[name]
+            )
+
+    # -- bucket helpers -----------------------------------------------------------------
+
+    def bucket_for_value(self, value: Any) -> int:
+        """The clustered bucket id whose key range contains ``value``.
+
+        Values outside every bucket (only possible for rows inserted after
+        clustering with new clustered-attribute values) map to the tail.
+        """
+        for min_key, max_key, bucket_id in self._bucket_key_ranges:
+            if min_key <= value <= max_key:
+                return bucket_id
+        return TAIL_BUCKET
+
+    def pages_for_targets(self, targets: Iterable[Any], *, uses_buckets: bool) -> list[int]:
+        """Heap pages to visit for a CM lookup result.
+
+        ``targets`` are clustered bucket ids (when the CM maps to buckets) or
+        clustered-attribute values.  Rows in the unclustered tail are covered
+        either by the explicit :data:`TAIL_BUCKET` target or, for value-mapped
+        CMs, by conservatively adding the tail pages.
+        """
+        if self.clustered_index is None:
+            return list(range(self.heap.num_pages))
+        pages: set[int] = set()
+        include_tail = False
+        for target in targets:
+            if uses_buckets:
+                if target == TAIL_BUCKET:
+                    include_tail = True
+                else:
+                    pages.update(self.clustered_index.pages_for_bucket(target))
+            else:
+                pages.update(self.clustered_index.pages_for_value(target))
+        if not uses_buckets and self.tail_pages():
+            include_tail = True
+        if include_tail:
+            pages.update(self.tail_pages())
+        return sorted(pages)
+
+    # -- secondary indexes ------------------------------------------------------------------
+
+    def create_secondary_index(
+        self, attributes: Sequence[str] | str, *, name: str | None = None, order: int = 256
+    ) -> SecondaryIndex:
+        if isinstance(attributes, str):
+            attributes = [attributes]
+        for attribute in attributes:
+            if not self.schema.has_column(attribute):
+                raise KeyError(f"unknown column {attribute!r}")
+        name = name or f"{self.name}__idx_{'_'.join(attributes)}"
+        if name in self.secondary_indexes:
+            raise ValueError(f"index {name!r} already exists")
+        index = SecondaryIndex(name, attributes, self.buffer_pool, order=order)
+        index.build(self.heap.scan(charge_io=False))
+        self.secondary_indexes[name] = index
+        return index
+
+    def drop_secondary_index(self, name: str) -> None:
+        del self.secondary_indexes[name]
+
+    # -- correlation maps -----------------------------------------------------------------------
+
+    def create_correlation_map(
+        self,
+        attributes: Sequence[str] | str,
+        *,
+        bucketers: Mapping[str, Bucketer] | None = None,
+        name: str | None = None,
+        use_clustered_buckets: bool = True,
+    ) -> CorrelationMap:
+        """Create (and build) a CM over ``attributes``.
+
+        ``use_clustered_buckets`` makes the CM map to clustered bucket ids when
+        the table was clustered with ``pages_per_bucket``; otherwise it maps to
+        raw clustered-attribute values.
+        """
+        if self.clustered_attribute is None:
+            raise RuntimeError("cluster the table before creating correlation maps")
+        if isinstance(attributes, str):
+            attributes = [attributes]
+        for attribute in attributes:
+            if not self.schema.has_column(attribute):
+                raise KeyError(f"unknown column {attribute!r}")
+        name = name or f"{self.name}__cm_{'_'.join(attributes)}"
+        if name in self.correlation_maps:
+            raise ValueError(f"correlation map {name!r} already exists")
+        key_spec = CompositeKeySpec.build(attributes, bucketers)
+        uses_buckets = use_clustered_buckets and self.has_clustered_buckets
+        cm = self._build_cm(name, key_spec, uses_buckets=uses_buckets)
+        self.correlation_maps[name] = cm
+        self._cm_uses_buckets[name] = uses_buckets
+        return cm
+
+    def _build_cm(
+        self, name: str, key_spec: CompositeKeySpec, *, uses_buckets: bool
+    ) -> CorrelationMap:
+        assert self.clustered_attribute is not None
+        if uses_buckets:
+            cm = CorrelationMap(
+                name,
+                key_spec,
+                self.clustered_attribute,
+                target_of=lambda row: row.get(BUCKET_COLUMN, TAIL_BUCKET),
+            )
+        else:
+            cm = CorrelationMap(name, key_spec, self.clustered_attribute)
+        cm.build(self.heap.all_rows())
+        return cm
+
+    def drop_correlation_map(self, name: str) -> None:
+        del self.correlation_maps[name]
+        del self._cm_uses_buckets[name]
+
+    def cm_uses_buckets(self, name: str) -> bool:
+        return self._cm_uses_buckets[name]
+
+    # -- maintenance -----------------------------------------------------------------------------
+
+    def insert_row(self, row: Mapping[str, Any], *, charge_io: bool = True) -> RID:
+        """Insert one tuple, maintaining every index and CM."""
+        row = dict(row)
+        if self.has_clustered_buckets:
+            row[BUCKET_COLUMN] = TAIL_BUCKET
+        rid = self.heap.append(row, charge_io=charge_io)
+        for index in self.secondary_indexes.values():
+            index.insert(rid, row, charge_io=charge_io)
+        for cm in self.correlation_maps.values():
+            cm.insert(row)
+        self._invalidate_stats()
+        return rid
+
+    def delete_row(self, rid: RID, *, charge_io: bool = True) -> dict[str, Any] | None:
+        """Delete the tuple at ``rid``, maintaining every index and CM."""
+        row = self.heap.fetch(rid, charge_io=False)
+        if row is None:
+            return None
+        self.heap.delete(rid, charge_io=charge_io)
+        for index in self.secondary_indexes.values():
+            index.delete(rid, row, charge_io=charge_io)
+        for cm in self.correlation_maps.values():
+            cm.delete(row)
+        self._invalidate_stats()
+        return row
+
+    # -- statistics --------------------------------------------------------------------------------
+
+    def _invalidate_stats(self) -> None:
+        self._stats_cache = None
+
+    def _collector(self) -> StatisticsCollector:
+        if self._stats_cache is None:
+            self._stats_cache = StatisticsCollector(list(self.heap.all_rows()))
+        return self._stats_cache
+
+    def table_profile(self) -> TableProfile:
+        height = self.clustered_index.btree_height if self.clustered_index else 3
+        return TableProfile(
+            total_tups=self.heap.num_tuples,
+            tups_per_page=self.tups_per_page,
+            btree_height=height,
+        )
+
+    def correlation_profile(
+        self, unclustered: CompositeKeySpec | str | Sequence[str]
+    ) -> CorrelationProfile:
+        """Exact Table 2 statistics of (Au, clustered attribute)."""
+        if self.clustered_attribute is None:
+            raise RuntimeError("the table is not clustered")
+        if isinstance(unclustered, (list, tuple)):
+            unclustered = CompositeKeySpec.build(unclustered)
+        return self._collector().correlation_profile(unclustered, self.clustered_attribute)
+
+    def attribute_cardinality(self, attribute: str) -> int:
+        return self._collector().summarize(attribute).distinct_values
+
+    def describe(self) -> str:
+        parts = [
+            f"table {self.name}: {self.num_rows} rows, {self.num_pages} pages",
+            f"clustered on {self.clustered_attribute}" if self.is_clustered else "heap",
+        ]
+        if self.secondary_indexes:
+            parts.append(f"{len(self.secondary_indexes)} secondary indexes")
+        if self.correlation_maps:
+            parts.append(f"{len(self.correlation_maps)} correlation maps")
+        return ", ".join(parts)

@@ -1,0 +1,78 @@
+"""Transactional maintenance of tables, indexes and correlation maps.
+
+The paper's prototype keeps CMs in main memory but makes them recoverable by
+logging their updates and flushing the log during two-phase commit with
+PostgreSQL (Section 7.1).  The :class:`TransactionManager` reproduces that
+protocol: every data/index/CM change appends a WAL record, and a batch commit
+performs PREPARE COMMIT (flush) followed by COMMIT PREPARED (flush), so CM
+durability costs are fully accounted in the maintenance experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.storage.wal import WriteAheadLog
+
+
+@dataclass
+class TransactionStats:
+    """Counters describing the transactional activity of a workload."""
+
+    transactions: int = 0
+    records_logged: int = 0
+    flushes: int = 0
+
+
+class Transaction:
+    """One open transaction accumulating log records."""
+
+    def __init__(self, manager: "TransactionManager", xid: int) -> None:
+        self.manager = manager
+        self.xid = xid
+        self.records = 0
+        self.closed = False
+
+    def log(self, kind: str, payload: dict[str, Any] | None = None, *, size_bytes: int = 64) -> None:
+        if self.closed:
+            raise RuntimeError("transaction already closed")
+        payload = dict(payload or {})
+        payload["xid"] = self.xid
+        self.manager.wal.append(kind, payload, size_bytes=size_bytes)
+        self.records += 1
+        self.manager.stats.records_logged += 1
+
+    def commit(self, *, two_phase: bool = True) -> None:
+        """Commit; ``two_phase=True`` mirrors the prototype's 2PC with PostgreSQL."""
+        if self.closed:
+            raise RuntimeError("transaction already closed")
+        if two_phase:
+            self.manager.wal.prepare({"xid": self.xid})
+            self.manager.wal.commit_prepared({"xid": self.xid})
+            self.manager.stats.flushes += 2
+        else:
+            self.manager.wal.commit({"xid": self.xid})
+            self.manager.stats.flushes += 1
+        self.closed = True
+        self.manager.stats.transactions += 1
+
+    def abort(self) -> None:
+        if self.closed:
+            raise RuntimeError("transaction already closed")
+        self.manager.wal.append("abort", {"xid": self.xid})
+        self.closed = True
+
+
+class TransactionManager:
+    """Hands out transactions backed by one shared write-ahead log."""
+
+    def __init__(self, wal: WriteAheadLog) -> None:
+        self.wal = wal
+        self.stats = TransactionStats()
+        self._next_xid = 1
+
+    def begin(self) -> Transaction:
+        transaction = Transaction(self, self._next_xid)
+        self._next_xid += 1
+        return transaction

@@ -1,0 +1,8 @@
+"""Index substrate: B+Trees, clustered/secondary indexes and page bitmaps."""
+
+from repro.index.btree import BPlusTree
+from repro.index.secondary import SecondaryIndex
+from repro.index.clustered import ClusteredIndex
+from repro.index.bitmap import PageBitmap
+
+__all__ = ["BPlusTree", "SecondaryIndex", "ClusteredIndex", "PageBitmap"]

@@ -1,0 +1,25 @@
+"""Cardinality-estimation substrate used by the CM Advisor.
+
+The paper estimates the ``c_per_u`` correlation statistic from distinct-value
+counts (Section 4.2):
+
+* single-attribute cardinalities come from Gibbons' *Distinct Sampling*
+  algorithm, which scans the table once and is far more accurate than plain
+  sampling;
+* composite-attribute cardinalities (needed when the advisor enumerates
+  hundreds of candidate composite CMs) come from the *Adaptive Estimator* of
+  Charikar et al., computed over an in-memory random sample collected during
+  the same scan.
+"""
+
+from repro.sampling.reservoir import ReservoirSampler
+from repro.sampling.distinct import DistinctSampler, distinct_sample_estimate
+from repro.sampling.adaptive import adaptive_estimate, gee_estimate
+
+__all__ = [
+    "ReservoirSampler",
+    "DistinctSampler",
+    "distinct_sample_estimate",
+    "adaptive_estimate",
+    "gee_estimate",
+]

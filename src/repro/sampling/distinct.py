@@ -1,0 +1,110 @@
+"""Gibbons' Distinct Sampling for single-attribute cardinality estimation.
+
+The algorithm (Gibbons, VLDB 2001) maintains a bounded *distinct sample*: each
+distinct value is hashed to a level drawn from a geometric distribution, and
+the sample keeps only values whose level is at least the current threshold.
+When the sample overflows, the threshold is raised and lower-level values are
+evicted.  The number of distinct values in the full data is then estimated as
+``|sample| * 2**level``.
+
+One full pass over the data yields estimates that are far more accurate than
+estimators based on small random samples, which is why the paper uses it for
+single-attribute cardinalities (Section 4.2).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Hashable, Iterable
+
+
+def _hash64(value: Hashable, seed: int) -> int:
+    """A stable 64-bit hash independent of Python's per-process salt."""
+    data = f"{seed}:{value!r}".encode()
+    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "big")
+
+
+def _level_of(value: Hashable, seed: int) -> int:
+    """The sampling level: number of trailing zero bits of the value's hash.
+
+    A value lands on level >= l with probability 2**-l, which is the geometric
+    level distribution the algorithm requires.
+    """
+    h = _hash64(value, seed)
+    if h == 0:
+        return 64
+    return (h & -h).bit_length() - 1
+
+
+class DistinctSampler:
+    """Single-pass distinct-count estimator with a bounded sample.
+
+    Parameters
+    ----------
+    sample_size:
+        Maximum number of distinct values retained.  Larger samples reduce
+        the estimation error; the paper-scale default keeps estimates within
+        a few percent for the data sets used here.
+    seed:
+        Hash seed; two samplers with the same seed agree on levels, so the
+        structure is deterministic for a given input.
+    """
+
+    def __init__(self, sample_size: int = 4096, *, seed: int = 0) -> None:
+        if sample_size <= 0:
+            raise ValueError("sample size must be positive")
+        self.sample_size = sample_size
+        self.seed = seed
+        self.level = 0
+        self._sample: dict[Any, int] = {}
+        self._rows_seen = 0
+
+    @property
+    def rows_seen(self) -> int:
+        return self._rows_seen
+
+    @property
+    def sample_values(self) -> list[Any]:
+        return list(self._sample)
+
+    def add(self, value: Hashable) -> None:
+        """Process one attribute value from the scan."""
+        self._rows_seen += 1
+        if value in self._sample:
+            return
+        level = _level_of(value, self.seed)
+        if level < self.level:
+            return
+        self._sample[value] = level
+        if len(self._sample) > self.sample_size:
+            self._raise_level()
+
+    def extend(self, values: Iterable[Hashable]) -> None:
+        for value in values:
+            self.add(value)
+
+    def _raise_level(self) -> None:
+        """Raise the level threshold until the sample fits again."""
+        while len(self._sample) > self.sample_size:
+            self.level += 1
+            self._sample = {
+                value: level for value, level in self._sample.items() if level >= self.level
+            }
+
+    def estimate(self) -> float:
+        """Estimated number of distinct values seen so far."""
+        return len(self._sample) * (2 ** self.level)
+
+    @property
+    def is_exact(self) -> bool:
+        """True while the sample has never overflowed (estimate is exact)."""
+        return self.level == 0
+
+
+def distinct_sample_estimate(
+    values: Iterable[Hashable], *, sample_size: int = 4096, seed: int = 0
+) -> float:
+    """Convenience wrapper: estimate the number of distinct ``values``."""
+    sampler = DistinctSampler(sample_size, seed=seed)
+    sampler.extend(values)
+    return sampler.estimate()

@@ -1,0 +1,65 @@
+"""Reservoir sampling.
+
+The CM Advisor needs a uniform random sample of table rows to feed the
+Adaptive Estimator.  The paper collects this sample "during the DS table
+scan, yielding an optimum random sample" (Section 4.2); reservoir sampling is
+the standard single-pass way to do that.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterable, Iterator
+
+
+class ReservoirSampler:
+    """Maintain a uniform random sample of fixed size over a stream.
+
+    Algorithm R (Vitter): the first ``capacity`` items fill the reservoir;
+    each later item replaces a random slot with probability
+    ``capacity / items_seen``.
+    """
+
+    def __init__(self, capacity: int, *, seed: int | None = None) -> None:
+        if capacity <= 0:
+            raise ValueError("reservoir capacity must be positive")
+        self.capacity = capacity
+        self._rng = random.Random(seed)
+        self._items: list[Any] = []
+        self._seen = 0
+
+    @property
+    def items_seen(self) -> int:
+        return self._seen
+
+    @property
+    def sample(self) -> list[Any]:
+        """The current reservoir contents (a copy)."""
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._items)
+
+    def add(self, item: Any) -> None:
+        self._seen += 1
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+            return
+        slot = self._rng.randrange(self._seen)
+        if slot < self.capacity:
+            self._items[slot] = item
+
+    def extend(self, items: Iterable[Any]) -> None:
+        for item in items:
+            self.add(item)
+
+    @classmethod
+    def from_iterable(
+        cls, items: Iterable[Any], capacity: int, *, seed: int | None = None
+    ) -> "ReservoirSampler":
+        sampler = cls(capacity, seed=seed)
+        sampler.extend(items)
+        return sampler

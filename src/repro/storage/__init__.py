@@ -1,0 +1,29 @@
+"""Storage substrate: simulated disk, pages, heap files, buffer pool and WAL.
+
+The paper's experiments run against PostgreSQL on a single SATA disk and are
+disk bound.  This package reproduces the storage-level mechanisms those
+experiments exercise -- sequential vs random page accesses, buffer-pool
+pressure from dirty index pages, and write-ahead logging -- using a simulated
+disk that charges the same per-page costs the paper reports (Table 1:
+``seek_cost`` = 5.5 ms, ``seq_page_cost`` = 0.078 ms).
+"""
+
+from repro.storage.disk import DiskModel, DiskParameters, IOBreakdown, IOTracker
+from repro.storage.page import PAGE_SIZE_BYTES, Page, RID
+from repro.storage.heap import HeapFile
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.wal import LogRecord, WriteAheadLog
+
+__all__ = [
+    "DiskModel",
+    "DiskParameters",
+    "IOBreakdown",
+    "IOTracker",
+    "PAGE_SIZE_BYTES",
+    "Page",
+    "RID",
+    "HeapFile",
+    "BufferPool",
+    "LogRecord",
+    "WriteAheadLog",
+]

@@ -1,0 +1,75 @@
+"""Pages and record identifiers.
+
+A :class:`Page` is the unit of disk transfer and buffer-pool residency.  Heap
+pages hold a fixed number of tuples (``tups_per_page`` in the paper's cost
+model); index files use pages to account for node storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+#: Default page size used for size accounting (PostgreSQL's 8 KB pages).
+PAGE_SIZE_BYTES = 8192
+
+
+@dataclass(frozen=True, order=True)
+class RID:
+    """A record identifier: heap page number plus slot within the page."""
+
+    page_no: int
+    slot: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RID({self.page_no}, {self.slot})"
+
+
+@dataclass
+class Page:
+    """A slotted heap page holding up to ``capacity`` tuples.
+
+    Tuples are stored as plain dictionaries keyed by column name.  Deleted
+    slots are set to ``None`` so that RIDs of surviving tuples stay valid.
+    """
+
+    page_no: int
+    capacity: int
+    slots: list[dict[str, Any] | None] = field(default_factory=list)
+
+    @property
+    def num_tuples(self) -> int:
+        """Number of live (non-deleted) tuples on the page."""
+        return sum(1 for slot in self.slots if slot is not None)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.slots) >= self.capacity
+
+    def append(self, row: dict[str, Any]) -> int:
+        """Append ``row`` and return its slot number.
+
+        Raises :class:`ValueError` when the page is full; the heap file is
+        responsible for allocating a new page in that case.
+        """
+        if self.is_full:
+            raise ValueError(f"page {self.page_no} is full ({self.capacity} slots)")
+        self.slots.append(row)
+        return len(self.slots) - 1
+
+    def get(self, slot: int) -> dict[str, Any] | None:
+        if slot < 0 or slot >= len(self.slots):
+            raise IndexError(f"slot {slot} out of range on page {self.page_no}")
+        return self.slots[slot]
+
+    def delete(self, slot: int) -> dict[str, Any] | None:
+        """Mark ``slot`` deleted and return the tuple it held (if any)."""
+        row = self.get(slot)
+        self.slots[slot] = None
+        return row
+
+    def live_rows(self) -> Iterator[tuple[int, dict[str, Any]]]:
+        """Yield ``(slot, row)`` pairs for live tuples, in slot order."""
+        for slot, row in enumerate(self.slots):
+            if row is not None:
+                yield slot, row

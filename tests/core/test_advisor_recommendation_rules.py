@@ -1,0 +1,90 @@
+"""Focused tests for the advisor's recommendation rules (Section 6.2.2)."""
+
+import random
+
+import pytest
+
+from repro.core.advisor import CMAdvisor, TrainingQuery
+from repro.core.composite import ValueConstraint
+from repro.core.model import TableProfile
+
+
+def rows_with_useless_and_useful_attributes(n=15_000, seed=2):
+    """``good`` soft-determines the clustered key; ``flag`` is 2-valued."""
+    rng = random.Random(seed)
+    rows = []
+    for i in range(n):
+        clustered = rng.randrange(200)
+        rows.append(
+            {
+                "id": i,
+                "clustered": clustered,
+                "good": clustered * 3 + rng.randrange(3),
+                "flag": i % 2,
+                "rand": rng.randrange(10_000),
+            }
+        )
+    return rows
+
+
+@pytest.fixture(scope="module")
+def advisor():
+    rows = rows_with_useless_and_useful_attributes()
+    return CMAdvisor(
+        rows,
+        "clustered",
+        table_profile=TableProfile(total_tups=100 * len(rows), tups_per_page=100),
+        sample_size=6_000,
+        performance_target=0.10,
+        seed=3,
+    )
+
+
+def test_correlated_attribute_gets_a_recommendation(advisor):
+    recommendation = advisor.recommend(TrainingQuery.over_attributes("good"))
+    assert recommendation.recommended is not None
+    chosen = recommendation.recommended
+    assert chosen.slowdown <= advisor.performance_target + 1e-9
+    assert chosen.estimated_cost_ms < recommendation.scan_cost_ms
+
+
+def test_recommended_design_is_smallest_useful_one(advisor):
+    recommendation = advisor.recommend(TrainingQuery.over_attributes("good"))
+    useful = [
+        d
+        for d in recommendation.designs
+        if d.slowdown <= advisor.performance_target
+        and d.estimated_cost_ms < recommendation.scan_cost_ms
+    ]
+    assert recommendation.recommended.estimated_size_bytes == min(
+        d.estimated_size_bytes for d in useful
+    )
+
+
+def test_degenerate_designs_are_never_recommended(advisor):
+    """A 2-valued attribute has 'zero slowdown' only because both the CM and
+    the B+Tree degenerate to a scan; the advisor must not recommend it."""
+    recommendation = advisor.recommend(
+        TrainingQuery(constraints={"flag": ValueConstraint.equals(1)})
+    )
+    if recommendation.recommended is not None:
+        assert "flag" not in recommendation.recommended.key_spec.attributes
+        assert recommendation.recommended.estimated_cost_ms < recommendation.scan_cost_ms
+
+
+def test_uncorrelated_attribute_recommendation_beats_scan_or_is_none(advisor):
+    recommendation = advisor.recommend(TrainingQuery.over_attributes("rand"))
+    if recommendation.recommended is not None:
+        assert recommendation.recommended.estimated_cost_ms < recommendation.scan_cost_ms
+
+
+def test_bucket_level_labels_survive_into_designs(advisor):
+    """Designs report the paper-style 2^level labels for bucketed attributes."""
+    recommendation = advisor.recommend(TrainingQuery.over_attributes("good"))
+    labelled = [
+        design.describe()
+        for design in recommendation.designs
+        if any(level > 0 for _attr, level in design.bucket_levels)
+    ]
+    assert labelled
+    assert any("2^" in label for label in labelled)

@@ -1,0 +1,102 @@
+"""Tests for composite CM keys and value/bucket constraints."""
+
+import pytest
+
+from repro.core.bucketing import IdentityBucketer, WidthBucketer
+from repro.core.composite import (
+    AttributeBucketing,
+    CompositeKeySpec,
+    ValueConstraint,
+    key_matches,
+)
+
+
+def test_spec_requires_attributes():
+    with pytest.raises(ValueError):
+        CompositeKeySpec(parts=())
+
+
+def test_spec_rejects_duplicate_attributes():
+    with pytest.raises(ValueError):
+        CompositeKeySpec.build(["ra", "ra"])
+
+
+def test_single_attribute_key_is_one_tuple():
+    spec = CompositeKeySpec.build(["city"])
+    assert spec.key_of({"city": "Boston", "state": "MA"}) == ("Boston",)
+    assert spec.attributes == ("city",)
+    assert len(spec) == 1
+
+
+def test_composite_key_order_preserved():
+    spec = CompositeKeySpec.build(["ra", "dec"])
+    assert spec.key_of({"dec": 2.0, "ra": 1.0}) == (1.0, 2.0)
+
+
+def test_bucketed_key():
+    spec = CompositeKeySpec.build(
+        ["ra", "dec"], {"ra": WidthBucketer(10), "dec": WidthBucketer(5)}
+    )
+    assert spec.key_of({"ra": 23.0, "dec": 7.0}) == (20.0, 5.0)
+
+
+def test_describe():
+    spec = CompositeKeySpec.build(["ra", "dec"], {"dec": WidthBucketer(4)})
+    assert spec.describe() == "ra, dec(width=4)"
+    assert AttributeBucketing("ra").describe() == "ra"
+
+
+def test_value_constraint_equals_and_in():
+    eq = ValueConstraint.equals("Boston")
+    assert eq.matches("Boston")
+    assert not eq.matches("Toledo")
+    inset = ValueConstraint.in_set(["a", "b"])
+    assert inset.matches("a") and inset.matches("b") and not inset.matches("c")
+
+
+def test_value_constraint_range():
+    rng = ValueConstraint.between(10, 20)
+    assert rng.matches(10) and rng.matches(20) and rng.matches(15)
+    assert not rng.matches(9) and not rng.matches(21)
+    open_low = ValueConstraint(low=None, high=5)
+    assert open_low.matches(-100) and not open_low.matches(6)
+    unconstrained = ValueConstraint()
+    assert unconstrained.matches("anything")
+
+
+def test_bucket_constraints_equality_translated_to_buckets():
+    spec = CompositeKeySpec.build(["price"], {"price": WidthBucketer(100)})
+    constraints = spec.bucket_constraints({"price": ValueConstraint.equals(250)})
+    assert len(constraints) == 1
+    assert constraints[0].buckets == {200}
+
+
+def test_bucket_constraints_range_translated_to_bucket_range():
+    spec = CompositeKeySpec.build(["price"], {"price": WidthBucketer(100)})
+    constraints = spec.bucket_constraints(
+        {"price": ValueConstraint.between(150, 420)}
+    )
+    assert constraints[0].low == 100
+    assert constraints[0].high == 400
+
+
+def test_unconstrained_attribute_matches_everything():
+    spec = CompositeKeySpec.build(["ra", "dec"])
+    constraints = spec.bucket_constraints({"ra": ValueConstraint.equals(1.0)})
+    assert key_matches((1.0, 99.0), constraints)
+    assert not key_matches((2.0, 99.0), constraints)
+
+
+def test_key_matches_multiple_constraints():
+    spec = CompositeKeySpec.build(
+        ["ra", "dec"], {"ra": WidthBucketer(10), "dec": WidthBucketer(10)}
+    )
+    constraints = spec.bucket_constraints(
+        {
+            "ra": ValueConstraint.between(15, 25),
+            "dec": ValueConstraint.equals(42),
+        }
+    )
+    assert key_matches((20.0, 40.0), constraints)
+    assert not key_matches((40.0, 40.0), constraints)
+    assert not key_matches((20.0, 90.0), constraints)

@@ -1,0 +1,53 @@
+"""Tests for the cost-model statistics dataclasses (Tables 1 and 2)."""
+
+import pytest
+
+from repro.core.model import CorrelationProfile, HardwareParameters, TableProfile
+from repro.storage.disk import DiskParameters
+
+
+def test_hardware_defaults_match_paper():
+    hw = HardwareParameters()
+    assert hw.seek_cost_ms == pytest.approx(5.5)
+    assert hw.seq_page_cost_ms == pytest.approx(0.078)
+
+
+def test_hardware_from_disk_parameters():
+    disk = DiskParameters(seek_cost_ms=10.0, seq_page_cost_ms=0.5)
+    hw = HardwareParameters.from_disk(disk)
+    assert hw.seek_cost_ms == 10.0
+    assert hw.seq_page_cost_ms == 0.5
+
+
+def test_table_profile_page_count_rounds_up():
+    profile = TableProfile(total_tups=101, tups_per_page=10)
+    assert profile.num_pages == 11
+
+
+def test_table_profile_minimum_one_page():
+    assert TableProfile(total_tups=0, tups_per_page=10).num_pages == 1
+
+
+def test_table_profile_validation():
+    with pytest.raises(ValueError):
+        TableProfile(total_tups=-1, tups_per_page=10)
+    with pytest.raises(ValueError):
+        TableProfile(total_tups=10, tups_per_page=0)
+    with pytest.raises(ValueError):
+        TableProfile(total_tups=10, tups_per_page=10, btree_height=0)
+
+
+def test_correlation_profile_c_pages():
+    profile = CorrelationProfile(c_per_u=2.0, c_tups=500, u_tups=100)
+    assert profile.c_pages(tups_per_page=100) == pytest.approx(5.0)
+    with pytest.raises(ValueError):
+        profile.c_pages(0)
+
+
+def test_correlation_profile_validation():
+    with pytest.raises(ValueError):
+        CorrelationProfile(c_per_u=-1, c_tups=1)
+    with pytest.raises(ValueError):
+        CorrelationProfile(c_per_u=1, c_tups=-1)
+    with pytest.raises(ValueError):
+        CorrelationProfile(c_per_u=1, c_tups=1, u_tups=-1)

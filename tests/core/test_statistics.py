@@ -1,0 +1,141 @@
+"""Tests for correlation-statistics collection (Section 4.2)."""
+
+import random
+
+import pytest
+
+from repro.core.bucketing import WidthBucketer
+from repro.core.composite import CompositeKeySpec
+from repro.core.statistics import (
+    StatisticsCollector,
+    c_per_u_from_cardinalities,
+    exact_c_per_u,
+)
+
+
+def city_state_rows():
+    """The paper's running example: city soft-determines state."""
+    pairs = [
+        ("Boston", "MA"),
+        ("Boston", "MA"),
+        ("Boston", "NH"),
+        ("Springfield", "MA"),
+        ("Springfield", "OH"),
+        ("Cambridge", "MA"),
+        ("Toledo", "OH"),
+        ("Jackson", "MS"),
+        ("Manchester", "NH"),
+        ("Manchester", "MN"),
+    ]
+    return [{"city": c, "state": s, "salary": i} for i, (c, s) in enumerate(pairs)]
+
+
+def test_c_per_u_from_cardinalities():
+    assert c_per_u_from_cardinalities(distinct_uc=9, distinct_u=6) == pytest.approx(1.5)
+    with pytest.raises(ValueError):
+        c_per_u_from_cardinalities(1, 0)
+
+
+def test_exact_correlation_profile_city_state():
+    collector = StatisticsCollector(city_state_rows())
+    profile = collector.correlation_profile("city", "state")
+    # 9 distinct (city, state) pairs over 6 distinct cities.
+    assert profile.c_per_u == pytest.approx(9 / 6)
+    # 10 rows over 5 states and 6 cities.
+    assert profile.c_tups == pytest.approx(10 / 5)
+    assert profile.u_tups == pytest.approx(10 / 6)
+
+
+def test_perfect_functional_dependency_has_c_per_u_one():
+    rows = [{"zip": i, "state": "MA" if i < 50 else "NH"} for i in range(100)]
+    collector = StatisticsCollector(rows)
+    assert collector.correlation_profile("zip", "state").c_per_u == pytest.approx(1.0)
+
+
+def test_uncorrelated_attributes_have_high_c_per_u():
+    rng = random.Random(0)
+    rows = [{"a": rng.randrange(20), "b": rng.randrange(20)} for _ in range(5000)]
+    collector = StatisticsCollector(rows)
+    profile = collector.correlation_profile("a", "b")
+    # Nearly every (a, b) combination appears: c_per_u approaches |b| = 20.
+    assert profile.c_per_u > 15
+
+
+def test_summarize_single_and_composite():
+    collector = StatisticsCollector(city_state_rows())
+    city = collector.summarize("city")
+    assert city.distinct_values == 6
+    assert city.tuples_per_value == pytest.approx(10 / 6)
+    pair = collector.summarize(CompositeKeySpec.build(["city", "state"]))
+    assert pair.distinct_values == 9
+
+
+def test_composite_key_is_stronger_determinant():
+    """(city, state) determines zip better than city alone (Section 1)."""
+    rows = []
+    for i in range(200):
+        state = "MA" if i % 2 == 0 else "OH"
+        rows.append({"city": "Springfield", "state": state, "zip": f"{state}-1"})
+    rows += [{"city": f"c{i}", "state": "MA", "zip": f"z{i}"} for i in range(50)]
+    collector = StatisticsCollector(rows)
+    single = collector.correlation_profile("city", "zip")
+    composite = collector.correlation_profile(
+        CompositeKeySpec.build(["city", "state"]), "zip"
+    )
+    assert composite.c_per_u < single.c_per_u
+
+
+def test_bucketed_key_reduces_distinct_count_not_below_targets():
+    rows = [{"price": float(i), "cat": i // 100} for i in range(1000)]
+    collector = StatisticsCollector(rows)
+    bucketed = CompositeKeySpec.build(["price"], {"price": WidthBucketer(100)})
+    profile = collector.correlation_profile(bucketed, "cat")
+    # Buckets align exactly with categories: perfect correlation.
+    assert profile.c_per_u == pytest.approx(1.0)
+    unbucketed = collector.correlation_profile("price", "cat")
+    assert unbucketed.c_per_u == pytest.approx(1.0)
+    assert collector.summarize(bucketed).distinct_values == 10
+
+
+def test_distinct_sampling_estimate_close_to_truth():
+    rng = random.Random(3)
+    rows = [{"v": rng.randrange(2000)} for _ in range(30_000)]
+    collector = StatisticsCollector(rows)
+    estimate = collector.distinct_sampling_estimate("v", sample_size=512, seed=1)
+    truth = len({row["v"] for row in rows})
+    assert 0.7 * truth <= estimate <= 1.3 * truth
+
+
+def test_estimated_profile_matches_exact_on_strong_correlation():
+    rng = random.Random(5)
+    rows = []
+    for i in range(20_000):
+        c = rng.randrange(500)
+        rows.append({"u": c * 2 + rng.randrange(2), "c": c})
+    collector = StatisticsCollector(rows)
+    exact = collector.correlation_profile("u", "c")
+    estimated = collector.estimated_correlation_profile("u", "c", sample_size=5000, seed=2)
+    assert exact.c_per_u == pytest.approx(1.0)
+    assert estimated.c_per_u < 2.5
+
+
+def test_estimated_profile_reuses_provided_sample():
+    rows = [{"u": i % 10, "c": i % 5} for i in range(1000)]
+    collector = StatisticsCollector(rows)
+    sample = collector.collect_sample(sample_size=200, seed=7)
+    a = collector.estimated_correlation_profile("u", "c", sample)
+    b = collector.estimated_correlation_profile("u", "c", sample)
+    assert a == b
+
+
+def test_empty_rows_profile_is_zero():
+    collector = StatisticsCollector([])
+    profile = collector.correlation_profile("a", "b")
+    assert profile.c_per_u == 0.0
+    assert collector.total_rows == 0
+
+
+def test_exact_c_per_u_helper():
+    rows = city_state_rows()
+    assert exact_c_per_u(rows, "city", "state") == pytest.approx(9 / 6)
+    assert exact_c_per_u([], "city", "state") == 0.0

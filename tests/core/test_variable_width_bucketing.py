@@ -1,0 +1,84 @@
+"""Tests for the variable-width (quantile) bucketing extension.
+
+The paper's future-work section proposes variable-width buckets for skewed
+value distributions; :class:`QuantileBucketer` implements that idea and plugs
+into correlation maps like any other bucketer.
+"""
+
+import random
+
+import pytest
+
+from repro.core.bucketing import QuantileBucketer, WidthBucketer
+from repro.core.composite import CompositeKeySpec, ValueConstraint
+from repro.core.correlation_map import CorrelationMap
+
+
+def skewed_rows(n=20_000, seed=0):
+    """80 % of prices sit in a narrow band; categories follow price rank."""
+    rng = random.Random(seed)
+    rows = []
+    for i in range(n):
+        if rng.random() < 0.8:
+            price = rng.uniform(0, 1_000)
+        else:
+            price = rng.uniform(1_000, 1_000_000)
+        rows.append({"itemid": i, "price": price})
+    prices = sorted(row["price"] for row in rows)
+    rank_of = {}
+    for rank, price in enumerate(prices):
+        rank_of.setdefault(price, rank)
+    for row in rows:
+        row["catid"] = rank_of[row["price"]] * 100 // len(rows)   # 100 categories by rank
+    return rows
+
+
+def test_quantile_buckets_balance_skewed_data():
+    rows = skewed_rows()
+    prices = [row["price"] for row in rows]
+    quantile = QuantileBucketer.from_sample(prices, 64)
+    counts = {}
+    for price in prices:
+        counts[quantile.bucket(price)] = counts.get(quantile.bucket(price), 0) + 1
+    largest = max(counts.values())
+    # Equi-width buckets put ~80 % of the rows into the first bucket; the
+    # quantile bucketer keeps every bucket near the average load.
+    width = WidthBucketer(1_000_000 / 64)
+    width_counts = {}
+    for price in prices:
+        width_counts[width.bucket(price)] = width_counts.get(width.bucket(price), 0) + 1
+    assert largest < max(width_counts.values()) / 4
+
+
+def test_quantile_bucketed_cm_has_low_c_per_u_on_skewed_data():
+    rows = skewed_rows()
+    prices = [row["price"] for row in rows]
+    quantile_cm = CorrelationMap(
+        "cm_q",
+        CompositeKeySpec.build(["price"], {"price": QuantileBucketer.from_sample(prices, 64)}),
+        "catid",
+    ).build(rows)
+    width_cm = CorrelationMap(
+        "cm_w",
+        CompositeKeySpec.build(["price"], {"price": WidthBucketer(1_000_000 / 64)}),
+        "catid",
+    ).build(rows)
+    # Same number of buckets, but the equi-width CM funnels most rows into
+    # one bucket that co-occurs with most categories.
+    assert quantile_cm.distinct_keys >= 32
+    assert quantile_cm.stats().max_targets_per_key < width_cm.stats().max_targets_per_key / 2
+
+
+def test_quantile_bucketed_cm_lookup_narrow_range():
+    rows = skewed_rows()
+    prices = [row["price"] for row in rows]
+    cm = CorrelationMap(
+        "cm_q",
+        CompositeKeySpec.build(["price"], {"price": QuantileBucketer.from_sample(prices, 64)}),
+        "catid",
+    ).build(rows)
+    targets = cm.lookup_constraints({"price": ValueConstraint.between(100.0, 150.0)})
+    expected = {row["catid"] for row in rows if 100.0 <= row["price"] <= 150.0}
+    # The CM returns a superset (bucket granularity) of the exact categories.
+    assert expected <= set(targets)
+    assert len(targets) < 30

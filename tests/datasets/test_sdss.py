@@ -1,0 +1,108 @@
+"""Tests for the synthetic SDSS catalogue."""
+
+import pytest
+
+from repro.core.bucketing import WidthBucketer
+from repro.core.composite import CompositeKeySpec
+from repro.core.statistics import StatisticsCollector, exact_c_per_u
+from repro.datasets.sdss import (
+    ATTRIBUTE_FAMILIES,
+    SDSSConfig,
+    generate_photoobj,
+    photoobj_attributes,
+)
+
+
+SMALL = SDSSConfig(fields_ra=16, fields_dec=16, objects_per_field=10, block_size=4, seed=2)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return generate_photoobj(SMALL)
+
+
+def test_config_validation_and_sizes():
+    with pytest.raises(ValueError):
+        SDSSConfig(fields_ra=0)
+    with pytest.raises(ValueError):
+        SDSSConfig(block_size=0)
+    assert SMALL.num_fields == 256
+    assert SMALL.num_rows == 2560
+
+
+def test_row_count_and_objid_sequence(rows):
+    assert len(rows) == SMALL.num_rows
+    assert [row["objid"] for row in rows] == list(range(len(rows)))
+
+
+def test_39_query_attributes_exist(rows):
+    attributes = photoobj_attributes()
+    assert len(attributes) == 39
+    assert len(set(attributes)) == 39
+    for attribute in attributes:
+        assert attribute in rows[0], attribute
+        assert isinstance(rows[0][attribute], (int, float))
+
+
+def test_mode_and_type_are_few_valued(rows):
+    assert {row["mode"] for row in rows} <= {1, 2, 3}
+    assert len({row["type"] for row in rows}) <= 5
+
+
+def test_fieldid_strongly_correlated_with_objid(rows):
+    """fieldID follows the sweep, so it pins objID to a contiguous range."""
+    spec = CompositeKeySpec.build(["objid"], {"objid": WidthBucketer(SMALL.objects_per_field)})
+    collector = StatisticsCollector(rows)
+    profile = collector.correlation_profile("fieldid", spec)
+    assert profile.c_per_u <= 2.0
+
+
+def test_ra_dec_jointly_determine_position_but_not_alone(rows):
+    """The Experiment 5 correlation: (ra, dec) >> ra or dec individually."""
+    objid_buckets = CompositeKeySpec.build(
+        ["objid"], {"objid": WidthBucketer(SMALL.objects_per_field * 4)}
+    )
+    collector = StatisticsCollector(rows)
+    ra_spec = CompositeKeySpec.build(["ra"], {"ra": WidthBucketer(0.5)})
+    dec_spec = CompositeKeySpec.build(["dec"], {"dec": WidthBucketer(0.5)})
+    pair_spec = CompositeKeySpec.build(
+        ["ra", "dec"], {"ra": WidthBucketer(0.5), "dec": WidthBucketer(0.5)}
+    )
+    ra_only = collector.correlation_profile(ra_spec, objid_buckets).c_per_u
+    dec_only = collector.correlation_profile(dec_spec, objid_buckets).c_per_u
+    pair = collector.correlation_profile(pair_spec, objid_buckets).c_per_u
+    assert pair < ra_only / 3
+    assert pair < dec_only / 3
+
+
+def test_magnitudes_correlate_with_each_other_not_with_position(rows):
+    psf_g_buckets = CompositeKeySpec.build(["psfmag_g"], {"psfmag_g": WidthBucketer(0.5)})
+    psf_r_buckets = CompositeKeySpec.build(["psfmag_r"], {"psfmag_r": WidthBucketer(0.5)})
+    collector = StatisticsCollector(rows)
+    within_family = collector.correlation_profile(psf_g_buckets, psf_r_buckets).c_per_u
+    across = collector.correlation_profile(psf_g_buckets, "fieldid").c_per_u
+    assert within_family < across / 5
+
+
+def test_extinction_follows_the_field(rows):
+    c_per_u = exact_c_per_u(rows, "fieldid", CompositeKeySpec.build(
+        ["extinction_r"], {"extinction_r": WidthBucketer(0.05)}
+    ))
+    assert c_per_u <= 3.0
+
+
+def test_uncorrelated_family_is_uncorrelated(rows):
+    collector = StatisticsCollector(rows)
+    noise = collector.correlation_profile(
+        CompositeKeySpec.build(["noise1"], {"noise1": WidthBucketer(10)}), "fieldid"
+    ).c_per_u
+    assert noise > 10
+
+
+def test_attribute_families_cover_exactly_the_query_attributes():
+    family_union = [a for family in ATTRIBUTE_FAMILIES.values() for a in family]
+    assert sorted(family_union) == sorted(photoobj_attributes())
+
+
+def test_generation_is_deterministic():
+    assert generate_photoobj(SMALL) == generate_photoobj(SMALL)

@@ -1,0 +1,57 @@
+"""Shared fixtures: a small synthetic table with a strong soft FD.
+
+The ``items`` table mimics the eBay data set's structure at toy scale:
+``price`` is strongly correlated with the clustered attribute ``catid``
+(each category owns a contiguous price band), ``cat2`` is a coarser rollup of
+``catid``, and ``noise`` is uncorrelated with everything.
+"""
+
+import random
+
+import pytest
+
+from repro.core.bucketing import WidthBucketer
+from repro.engine.database import Database
+
+
+def make_rows(n=5000, seed=0):
+    rng = random.Random(seed)
+    rows = []
+    for i in range(n):
+        price = rng.uniform(0, 10_000)
+        catid = int(price // 100)          # 100 categories, price-determined
+        rows.append(
+            {
+                "itemid": i,
+                "catid": catid,
+                "cat2": f"group{catid // 10}",
+                "price": price,
+                "noise": rng.randrange(1000),
+            }
+        )
+    return rows
+
+
+@pytest.fixture
+def item_rows():
+    return make_rows()
+
+
+@pytest.fixture
+def database(item_rows):
+    db = Database(buffer_pool_pages=400)
+    db.create_table("items", sample_row=item_rows[0], tups_per_page=50)
+    db.load("items", item_rows)
+    db.cluster("items", "catid", pages_per_bucket=4)
+    return db
+
+
+@pytest.fixture
+def indexed_database(database):
+    """Database with a secondary B+Tree and a CM on price, plus one on cat2."""
+    database.create_secondary_index("items", "price")
+    database.create_correlation_map(
+        "items", ["price"], bucketers={"price": WidthBucketer(64)}, name="cm_price"
+    )
+    database.create_correlation_map("items", ["cat2"], name="cm_cat2")
+    return database

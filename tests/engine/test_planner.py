@@ -1,0 +1,103 @@
+"""Tests for cost-based access-path selection."""
+
+import pytest
+
+from repro.engine.access import CorrelationMapScan, SeqScan, SortedIndexScan
+from repro.engine.planner import FORCE_METHODS, Planner
+from repro.engine.predicates import Between, Equals, InSet
+from repro.engine.query import Query
+
+
+def test_candidate_plans_include_all_applicable_structures(indexed_database):
+    query = Query.select("items", Between("price", 1000, 1100))
+    plans = indexed_database.explain(query)
+    methods = {plan["method"] for plan in plans}
+    assert "seq_scan" in methods
+    assert "sorted_index_scan" in methods
+    assert "cm_scan" in methods
+
+
+def test_inapplicable_structures_are_skipped(indexed_database):
+    # noise has no index and no CM: only the seq scan qualifies.
+    query = Query.select("items", Equals("noise", 5))
+    plans = indexed_database.explain(query)
+    assert {plan["method"] for plan in plans} == {"seq_scan"}
+
+
+def test_clustered_attribute_predicate_offers_clustered_scan(indexed_database):
+    query = Query.select("items", Equals("catid", 42))
+    methods = {plan["method"] for plan in indexed_database.explain(query)}
+    assert "clustered_index_scan" in methods
+
+
+def test_selective_query_does_not_choose_seq_scan(indexed_database):
+    query = Query.select("items", Equals("cat2", "group7"))
+    table = indexed_database.table("items")
+    plan = indexed_database.planner.choose(table, query)
+    assert plan.method != "seq_scan" or plan.estimated_cost_ms <= min(
+        p["estimated_cost_ms"] for p in indexed_database.explain(query)
+    )
+    result = indexed_database.query(query)
+    assert result.access_method in {"cm_scan", "sorted_index_scan", "clustered_index_scan"}
+
+
+def test_force_methods_all_supported(indexed_database):
+    query = Query.select("items", Between("price", 1000, 1050))
+    for force in ["seq_scan", "sorted_index_scan", "pipelined_index_scan", "cm_scan"]:
+        assert force in FORCE_METHODS
+        result = indexed_database.query(query, force=force)
+        assert result.access_method == force
+
+
+def test_force_unknown_method_rejected(indexed_database):
+    query = Query.select("items", Between("price", 1000, 1050))
+    with pytest.raises(ValueError):
+        indexed_database.query(query, force="hash_join")
+
+
+def test_force_inapplicable_method_rejected(indexed_database):
+    query = Query.select("items", Equals("noise", 1))
+    with pytest.raises(ValueError):
+        indexed_database.query(query, force="sorted_index_scan")
+    with pytest.raises(ValueError):
+        indexed_database.query(query, force="pipelined_index_scan")
+
+
+def test_estimated_costs_are_positive_and_ordered(indexed_database):
+    query = Query.select("items", InSet("price", [10.0, 20.0, 30.0]))
+    plans = indexed_database.explain(query)
+    assert all(plan["estimated_cost_ms"] > 0 for plan in plans)
+    assert plans == sorted(plans, key=lambda p: p["estimated_cost_ms"])
+
+
+def test_n_lookups_estimation(indexed_database):
+    planner = indexed_database.planner
+    table = indexed_database.table("items")
+    from repro.engine.predicates import PredicateSet
+
+    assert planner._estimate_n_lookups(table, PredicateSet.of(Equals("price", 5.0)), ["price"]) == 1
+    assert (
+        planner._estimate_n_lookups(
+            table, PredicateSet.of(InSet("price", [1.0, 2.0, 3.0])), ["price"]
+        )
+        == 3
+    )
+    range_est = planner._estimate_n_lookups(
+        table, PredicateSet.of(Between("price", 0, 5000)), ["price"]
+    )
+    assert range_est > 100  # about half the distinct prices
+    assert (
+        planner._estimate_n_lookups(table, PredicateSet.of(Equals("noise", 1)), ["price"]) == 1
+    )
+
+
+def test_cm_lookup_estimation_counts_buckets(indexed_database):
+    planner = indexed_database.planner
+    table = indexed_database.table("items")
+    cm = table.correlation_maps["cm_price"]
+    from repro.engine.predicates import PredicateSet
+
+    narrow = planner._estimate_cm_lookups(cm, PredicateSet.of(Between("price", 1000, 1100)))
+    wide = planner._estimate_cm_lookups(cm, PredicateSet.of(Between("price", 1000, 5000)))
+    assert 1 <= narrow <= 5
+    assert wide > narrow

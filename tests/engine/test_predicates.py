@@ -1,0 +1,96 @@
+"""Tests for selection predicates."""
+
+import pytest
+
+from repro.engine.predicates import (
+    Between,
+    Equals,
+    ExpressionPredicate,
+    InSet,
+    PredicateSet,
+)
+
+
+ROW = {"city": "Boston", "price": 120, "g": 10, "rho": 14}
+
+
+def test_equals():
+    predicate = Equals("city", "Boston")
+    assert predicate.matches(ROW)
+    assert not predicate.matches({"city": "Toledo"})
+    assert predicate.lookup_values == ("Boston",)
+    assert predicate.constraint().matches("Boston")
+    assert "city" in predicate.describe()
+
+
+def test_in_set():
+    predicate = InSet("city", ["Boston", "Springfield"])
+    assert predicate.matches(ROW)
+    assert not predicate.matches({"city": "Toledo"})
+    assert predicate.lookup_values == ("Boston", "Springfield")
+    assert predicate.constraint().matches("Springfield")
+
+
+def test_in_set_accepts_any_iterable():
+    predicate = InSet("price", range(3))
+    assert predicate.values == (0, 1, 2)
+
+
+def test_between_inclusive():
+    predicate = Between("price", 100, 120)
+    assert predicate.matches(ROW)
+    assert predicate.matches({"price": 100})
+    assert not predicate.matches({"price": 99})
+    assert not predicate.matches({"price": 121})
+
+
+def test_between_open_bounds():
+    assert Between("price", low=100).matches({"price": 1_000_000})
+    assert Between("price", high=100).matches({"price": -5})
+    with pytest.raises(ValueError):
+        Between("price")
+
+
+def test_expression_predicate():
+    predicate = ExpressionPredicate("g + rho", lambda row: 23 <= row["g"] + row["rho"] <= 25)
+    assert predicate.matches(ROW)
+    assert not predicate.matches({"g": 1, "rho": 1})
+    # Expression predicates are residual-only: unconstrained at the CM level.
+    assert predicate.constraint().matches("anything")
+
+
+def test_predicate_set_conjunction():
+    predicates = PredicateSet.of(Equals("city", "Boston"), Between("price", 100, 200))
+    assert predicates.matches(ROW)
+    assert not predicates.matches({"city": "Boston", "price": 999})
+    assert predicates.attributes == ("city", "price")
+    assert len(predicates) == 2
+    assert bool(predicates)
+
+
+def test_empty_predicate_set_matches_everything():
+    predicates = PredicateSet()
+    assert predicates.matches(ROW)
+    assert not predicates
+    assert predicates.describe() == "TRUE"
+
+
+def test_indexable_excludes_expressions():
+    predicates = PredicateSet.of(
+        Equals("city", "Boston"),
+        ExpressionPredicate("expr", lambda row: True),
+    )
+    assert [p.attribute for p in predicates.indexable_predicates()] == ["city"]
+    assert set(predicates.constraints()) == {"city"}
+
+
+def test_on_attribute():
+    predicates = PredicateSet.of(Equals("city", "Boston"), Between("price", 1, 2))
+    assert isinstance(predicates.on_attribute("price"), Between)
+    assert predicates.on_attribute("missing") is None
+
+
+def test_describe_mentions_all_predicates():
+    predicates = PredicateSet.of(Equals("a", 1), InSet("b", [1, 2]), Between("c", 0, 9))
+    text = predicates.describe()
+    assert "a = 1" in text and "b IN" in text and "BETWEEN" in text

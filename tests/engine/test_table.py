@@ -1,0 +1,183 @@
+"""Tests for Table: clustering, bucket assignment, index/CM lifecycle."""
+
+import pytest
+
+from repro.core.bucketing import WidthBucketer
+from repro.engine.database import Database
+from repro.engine.table import BUCKET_COLUMN, TAIL_BUCKET
+from tests.engine.conftest import make_rows
+
+
+def test_load_and_row_counts(database):
+    table = database.table("items")
+    assert table.num_rows == 5000
+    assert table.num_pages == 100  # 5000 rows at 50 per page
+    assert "items" in table.describe()
+
+
+def test_cluster_orders_heap_physically(database):
+    table = database.table("items")
+    catids = [row["catid"] for row in table.all_rows()]
+    assert catids == sorted(catids)
+    assert table.is_clustered
+    assert table.clustered_attribute == "catid"
+    assert not table.tail_pages()
+
+
+def test_cluster_on_unknown_column_raises(database):
+    with pytest.raises(KeyError):
+        database.cluster("items", "nope")
+
+
+def test_bucket_column_assigned_to_every_row(database):
+    table = database.table("items")
+    assert table.has_clustered_buckets
+    assert table.schema.has_column(BUCKET_COLUMN)
+    bucket_ids = [row[BUCKET_COLUMN] for row in table.all_rows()]
+    assert all(isinstance(b, int) and b >= 0 for b in bucket_ids)
+    # Bucket ids are non-decreasing in physical order and start at zero.
+    assert bucket_ids == sorted(bucket_ids)
+    assert bucket_ids[0] == 0
+    # ~4 pages of 50 tuples per bucket.
+    buckets = max(bucket_ids) + 1
+    assert 20 <= buckets <= 30
+
+
+def test_no_clustered_value_spans_two_buckets(database):
+    table = database.table("items")
+    value_to_buckets = {}
+    for row in table.all_rows():
+        value_to_buckets.setdefault(row["catid"], set()).add(row[BUCKET_COLUMN])
+    assert all(len(buckets) == 1 for buckets in value_to_buckets.values())
+
+
+def test_bucket_for_value(database):
+    table = database.table("items")
+    sample = next(iter(table.all_rows()))
+    assert table.bucket_for_value(sample["catid"]) == sample[BUCKET_COLUMN]
+    assert table.bucket_for_value(10_000_000) == TAIL_BUCKET
+
+
+def test_cluster_without_buckets(item_rows):
+    db = Database(buffer_pool_pages=200)
+    db.create_table("items", sample_row=item_rows[0], tups_per_page=50)
+    db.load("items", item_rows)
+    db.cluster("items", "catid")
+    table = db.table("items")
+    assert table.is_clustered
+    assert not table.has_clustered_buckets
+    assert not table.schema.has_column(BUCKET_COLUMN)
+
+
+def test_create_secondary_index_and_duplicate_rejected(database):
+    table = database.table("items")
+    index = table.create_secondary_index("price")
+    assert index.num_entries == table.num_rows
+    with pytest.raises(ValueError):
+        table.create_secondary_index("price")
+    with pytest.raises(KeyError):
+        table.create_secondary_index("nope")
+
+
+def test_create_cm_requires_clustering(item_rows):
+    db = Database(buffer_pool_pages=200)
+    db.create_table("items", sample_row=item_rows[0])
+    db.load("items", item_rows)
+    with pytest.raises(RuntimeError):
+        db.create_correlation_map("items", ["price"])
+
+
+def test_create_cm_maps_to_bucket_ids(database):
+    table = database.table("items")
+    cm = table.create_correlation_map(["cat2"])
+    assert table.cm_uses_buckets(cm.name)
+    targets = cm.lookup({"cat2": "group3"})
+    assert targets
+    assert all(isinstance(t, int) for t in targets)
+
+
+def test_create_cm_with_raw_clustered_values(database):
+    table = database.table("items")
+    cm = table.create_correlation_map(["cat2"], use_clustered_buckets=False, name="raw")
+    assert not table.cm_uses_buckets("raw")
+    targets = cm.lookup({"cat2": "group3"})
+    # group3 rolls up catids 30..39.
+    assert targets == list(range(30, 40))
+
+
+def test_cm_duplicate_and_unknown_column_rejected(database):
+    table = database.table("items")
+    table.create_correlation_map(["price"], name="cm1")
+    with pytest.raises(ValueError):
+        table.create_correlation_map(["price"], name="cm1")
+    with pytest.raises(KeyError):
+        table.create_correlation_map(["nope"])
+
+
+def test_drop_structures(database):
+    table = database.table("items")
+    table.create_secondary_index("price", name="idx")
+    table.create_correlation_map(["price"], name="cm")
+    table.drop_secondary_index("idx")
+    table.drop_correlation_map("cm")
+    assert not table.secondary_indexes
+    assert not table.correlation_maps
+
+
+def test_insert_row_maintains_all_structures(database):
+    table = database.table("items")
+    index = table.create_secondary_index("price")
+    cm = table.create_correlation_map(["price"], bucketers={"price": WidthBucketer(64)})
+    new_row = {"itemid": 99999, "catid": 5, "cat2": "group0", "price": 550.0, "noise": 1}
+    before_entries = index.num_entries
+    rid = table.insert_row(new_row)
+    assert table.num_rows == 5001
+    assert index.num_entries == before_entries + 1
+    assert rid.page_no in table.tail_pages()
+    # The CM saw the row under the tail bucket.
+    assert TAIL_BUCKET in cm.lookup({"price": 550.0})
+
+
+def test_delete_row_maintains_all_structures(database):
+    table = database.table("items")
+    index = table.create_secondary_index("price")
+    cm = table.create_correlation_map(["cat2"])
+    rid, row = next(iter(table.heap.scan(charge_io=False)))
+    assert table.delete_row(rid) == row
+    assert table.num_rows == 4999
+    assert index.num_entries == 4999
+    assert table.delete_row(rid) is None  # already gone
+
+
+def test_reclustering_rebuilds_indexes_and_cms(database):
+    table = database.table("items")
+    index = table.create_secondary_index("price")
+    cm = table.create_correlation_map(["cat2"])
+    table.cluster_on("itemid", pages_per_bucket=4)
+    # Structures were rebuilt against the new physical layout.
+    rebuilt_index = table.secondary_indexes[index.name]
+    assert rebuilt_index.num_entries == table.num_rows
+    rebuilt_cm = table.correlation_maps[cm.name]
+    assert rebuilt_cm.clustered_attribute == "itemid"
+    assert rebuilt_cm.total_rows_represented == table.num_rows
+
+
+def test_table_profile_and_correlation_profile(database):
+    table = database.table("items")
+    profile = table.table_profile()
+    assert profile.total_tups == 5000
+    assert profile.tups_per_page == 50
+    corr = table.correlation_profile("price")
+    assert corr.c_per_u == pytest.approx(1.0, abs=0.01)  # price determines catid
+    weak = table.correlation_profile("noise")
+    assert weak.c_per_u > 3
+    assert table.attribute_cardinality("cat2") == 10
+
+
+def test_pages_for_targets_value_mode_includes_tail(database):
+    table = database.table("items")
+    table.insert_row(
+        {"itemid": 1_000_000, "catid": 7, "cat2": "group0", "price": 1.0, "noise": 0}
+    )
+    pages = table.pages_for_targets([7], uses_buckets=False)
+    assert set(table.tail_pages()) <= set(pages)

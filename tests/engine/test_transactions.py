@@ -1,0 +1,78 @@
+"""Tests for transactional logging of maintenance operations."""
+
+import pytest
+
+from repro.engine.transactions import TransactionManager
+from repro.storage.disk import DiskModel
+from repro.storage.wal import WriteAheadLog
+
+
+def make_manager():
+    disk = DiskModel()
+    wal = WriteAheadLog(disk)
+    return disk, wal, TransactionManager(wal)
+
+
+def test_xids_are_unique_and_increasing():
+    _disk, _wal, manager = make_manager()
+    t1 = manager.begin()
+    t2 = manager.begin()
+    assert t2.xid > t1.xid
+
+
+def test_log_records_tagged_with_xid():
+    _disk, wal, manager = make_manager()
+    transaction = manager.begin()
+    transaction.log("insert", {"table": "items"})
+    assert wal.records[-1].payload["xid"] == transaction.xid
+    assert wal.records[-1].payload["table"] == "items"
+
+
+def test_two_phase_commit_costs_two_flushes():
+    disk, _wal, manager = make_manager()
+    transaction = manager.begin()
+    transaction.log("cm_update")
+    transaction.commit(two_phase=True)
+    assert disk.counters.log_flushes == 2
+    assert manager.stats.transactions == 1
+    assert manager.stats.flushes == 2
+
+
+def test_single_phase_commit_costs_one_flush():
+    disk, _wal, manager = make_manager()
+    transaction = manager.begin()
+    transaction.log("insert")
+    transaction.commit(two_phase=False)
+    assert disk.counters.log_flushes == 1
+
+
+def test_closed_transaction_rejects_further_use():
+    _disk, _wal, manager = make_manager()
+    transaction = manager.begin()
+    transaction.commit()
+    with pytest.raises(RuntimeError):
+        transaction.log("insert")
+    with pytest.raises(RuntimeError):
+        transaction.commit()
+
+
+def test_abort_closes_without_flush():
+    disk, wal, manager = make_manager()
+    transaction = manager.begin()
+    transaction.log("insert")
+    transaction.abort()
+    assert disk.counters.log_flushes == 0
+    assert wal.records[-1].kind == "abort"
+    with pytest.raises(RuntimeError):
+        transaction.abort()
+
+
+def test_stats_accumulate_across_transactions():
+    _disk, _wal, manager = make_manager()
+    for _ in range(3):
+        transaction = manager.begin()
+        transaction.log("insert")
+        transaction.commit(two_phase=False)
+    assert manager.stats.transactions == 3
+    assert manager.stats.records_logged == 3
+    assert manager.stats.flushes == 3

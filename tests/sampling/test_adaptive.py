@@ -1,0 +1,109 @@
+"""Tests for the Adaptive Estimator and GEE."""
+
+import random
+
+import pytest
+
+from repro.sampling.adaptive import (
+    adaptive_estimate,
+    frequency_of_frequencies,
+    gee_estimate,
+)
+from repro.sampling.reservoir import ReservoirSampler
+
+
+def sample_of(population, sample_size, seed=0):
+    return ReservoirSampler.from_iterable(population, sample_size, seed=seed).sample
+
+
+def test_frequency_of_frequencies():
+    freq = frequency_of_frequencies(["a", "a", "b", "c", "c", "c"])
+    assert freq == {2: 1, 1: 1, 3: 1}
+
+
+def test_empty_sample_rejected():
+    with pytest.raises(ValueError):
+        gee_estimate([], 100)
+    with pytest.raises(ValueError):
+        adaptive_estimate([], 100)
+
+
+def test_total_rows_must_cover_sample():
+    with pytest.raises(ValueError):
+        gee_estimate([1, 2, 3], 2)
+
+
+def test_sample_equal_to_table_is_exact():
+    values = [1, 1, 2, 3, 3, 3]
+    assert gee_estimate(values, len(values)) == pytest.approx(len(set(values)), rel=0.75)
+    assert adaptive_estimate(values, len(values)) == pytest.approx(3, abs=1.0)
+
+
+def test_estimates_bounded_by_table_size():
+    sample = list(range(100))
+    assert gee_estimate(sample, 200) <= 200
+    assert adaptive_estimate(sample, 200) <= 200
+
+
+def test_low_cardinality_column_estimated_well():
+    """A 10-value column sampled at 1% must not be wildly overestimated."""
+    rng = random.Random(1)
+    population = [rng.randrange(10) for _ in range(100_000)]
+    sample = sample_of(population, 1000, seed=2)
+    estimate = adaptive_estimate(sample, len(population))
+    assert estimate <= 20
+
+
+def test_high_cardinality_column_scaled_up():
+    """A nearly-unique column must be estimated well above the sample size.
+
+    GEE (and AE's rare-only fallback) scale the singletons by sqrt(n/r), so a
+    unique column sampled at 1 % is estimated at ~10x the sample's distinct
+    count -- a deliberate underestimate with guaranteed error, not a bug.
+    """
+    population = list(range(100_000))
+    sample = sample_of(population, 1000, seed=3)
+    estimate = adaptive_estimate(sample, len(population))
+    assert estimate >= 9_000
+    gee = gee_estimate(sample, len(population))
+    assert gee >= 9_000
+
+
+def test_moderate_cardinality_reasonable():
+    rng = random.Random(7)
+    true_distinct = 2_000
+    population = [rng.randrange(true_distinct) for _ in range(100_000)]
+    sample = sample_of(population, 5_000, seed=4)
+    estimate = adaptive_estimate(sample, len(population))
+    assert 0.3 * true_distinct <= estimate <= 3.0 * true_distinct
+
+
+def test_skewed_distribution_ae_not_worse_than_gee():
+    """AE's frequent/rare split should cope with heavy skew."""
+    rng = random.Random(9)
+    # One very frequent value plus a long tail of rare values.
+    population = [0] * 50_000 + [rng.randrange(1, 5_000) for _ in range(50_000)]
+    rng.shuffle(population)
+    true_distinct = len(set(population))
+    sample = sample_of(population, 3_000, seed=5)
+    ae = adaptive_estimate(sample, len(population))
+    gee = gee_estimate(sample, len(population))
+    ae_error = abs(ae - true_distinct) / true_distinct
+    gee_error = abs(gee - true_distinct) / true_distinct
+    assert ae_error <= gee_error * 1.5 + 0.05
+
+
+def test_composite_key_estimation():
+    """Estimating |D(Au, Ac)| from tuples, the CM Advisor's main use."""
+    rng = random.Random(11)
+    rows = [(rng.randrange(50), rng.randrange(40)) for _ in range(50_000)]
+    true_distinct = len(set(rows))
+    sample = sample_of(rows, 2_000, seed=6)
+    estimate = adaptive_estimate(sample, len(rows))
+    assert 0.5 * true_distinct <= estimate <= 1.8 * true_distinct
+
+
+def test_estimates_never_below_sample_distinct():
+    sample = ["a", "b", "c", "d", "d"]
+    assert adaptive_estimate(sample, 1_000_000) >= 4
+    assert gee_estimate(sample, 1_000_000) >= 4

@@ -1,0 +1,76 @@
+"""Tests for Gibbons' Distinct Sampling."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling.distinct import DistinctSampler, distinct_sample_estimate
+
+
+def test_sample_size_must_be_positive():
+    with pytest.raises(ValueError):
+        DistinctSampler(0)
+
+
+def test_exact_when_sample_never_overflows():
+    sampler = DistinctSampler(sample_size=100)
+    sampler.extend([1, 2, 3, 2, 1, 4])
+    assert sampler.is_exact
+    assert sampler.estimate() == 4
+    assert sampler.rows_seen == 6
+
+
+def test_duplicates_do_not_grow_the_sample():
+    sampler = DistinctSampler(sample_size=4)
+    sampler.extend([7] * 1000)
+    assert sampler.estimate() == 1
+    assert sampler.is_exact
+
+
+def test_estimate_accuracy_with_overflow():
+    rng = random.Random(0)
+    true_distinct = 5000
+    values = [rng.randrange(true_distinct) for _ in range(50_000)]
+    # Force many level raises with a small sample.
+    estimate = distinct_sample_estimate(values, sample_size=512, seed=1)
+    observed_distinct = len(set(values))
+    assert 0.7 * observed_distinct <= estimate <= 1.3 * observed_distinct
+
+
+def test_estimate_accuracy_unique_values():
+    values = list(range(20_000))
+    estimate = distinct_sample_estimate(values, sample_size=1024, seed=2)
+    assert 0.7 * 20_000 <= estimate <= 1.3 * 20_000
+
+
+def test_deterministic_for_fixed_seed():
+    values = [i % 1000 for i in range(10_000)]
+    a = distinct_sample_estimate(values, sample_size=128, seed=5)
+    b = distinct_sample_estimate(values, sample_size=128, seed=5)
+    assert a == b
+
+
+def test_string_values_supported():
+    values = [f"city-{i % 300}" for i in range(3000)]
+    estimate = distinct_sample_estimate(values, sample_size=64, seed=3)
+    assert 150 <= estimate <= 600
+
+
+@given(st.lists(st.integers(min_value=0, max_value=200), max_size=500))
+@settings(max_examples=50, deadline=None)
+def test_property_exact_mode_matches_set(values):
+    """With a big enough sample the estimate equals the exact distinct count."""
+    sampler = DistinctSampler(sample_size=1000)
+    sampler.extend(values)
+    assert sampler.estimate() == len(set(values))
+
+
+@given(st.lists(st.integers(), min_size=1, max_size=300), st.integers(2, 64))
+@settings(max_examples=50, deadline=None)
+def test_property_sample_respects_bound(values, sample_size):
+    sampler = DistinctSampler(sample_size=sample_size)
+    sampler.extend(values)
+    assert len(sampler.sample_values) <= sample_size
+    assert sampler.estimate() >= 0

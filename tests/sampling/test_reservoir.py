@@ -1,0 +1,62 @@
+"""Tests for reservoir sampling."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.sampling.reservoir import ReservoirSampler
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        ReservoirSampler(0)
+
+
+def test_small_streams_are_kept_entirely():
+    sampler = ReservoirSampler(10, seed=1)
+    sampler.extend(range(5))
+    assert sorted(sampler.sample) == [0, 1, 2, 3, 4]
+    assert len(sampler) == 5
+    assert sampler.items_seen == 5
+
+
+def test_sample_never_exceeds_capacity():
+    sampler = ReservoirSampler(16, seed=1)
+    sampler.extend(range(1000))
+    assert len(sampler) == 16
+    assert sampler.items_seen == 1000
+
+
+def test_sample_items_come_from_the_stream():
+    sampler = ReservoirSampler(8, seed=3)
+    sampler.extend(range(100, 200))
+    assert all(100 <= item < 200 for item in sampler)
+
+
+def test_from_iterable_equivalent_to_extend():
+    a = ReservoirSampler.from_iterable(range(50), 5, seed=7)
+    b = ReservoirSampler(5, seed=7)
+    b.extend(range(50))
+    assert a.sample == b.sample
+
+
+def test_uniformity_over_many_runs():
+    """Every element should be selected roughly equally often."""
+    hits = Counter()
+    runs = 400
+    population = 20
+    capacity = 5
+    for seed in range(runs):
+        sampler = ReservoirSampler(capacity, seed=seed)
+        sampler.extend(range(population))
+        hits.update(sampler.sample)
+    expected = runs * capacity / population
+    for element in range(population):
+        assert expected * 0.6 < hits[element] < expected * 1.4
+
+
+def test_deterministic_for_fixed_seed():
+    a = ReservoirSampler.from_iterable(range(1000), 10, seed=42)
+    b = ReservoirSampler.from_iterable(range(1000), 10, seed=42)
+    assert a.sample == b.sample

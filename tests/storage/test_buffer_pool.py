@@ -1,0 +1,113 @@
+"""Tests for the LRU buffer pool with dirty write-back."""
+
+import pytest
+
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.disk import DiskModel
+
+
+def make_pool(capacity=4):
+    disk = DiskModel()
+    return disk, BufferPool(disk, capacity_pages=capacity)
+
+
+def test_capacity_must_be_positive():
+    disk = DiskModel()
+    with pytest.raises(ValueError):
+        BufferPool(disk, capacity_pages=0)
+
+
+def test_miss_then_hit():
+    disk, pool = make_pool()
+    assert pool.access("heap", 0) is False
+    assert pool.access("heap", 0) is True
+    assert pool.stats.hits == 1
+    assert pool.stats.misses == 1
+    assert disk.counters.pages_read == 1
+
+
+def test_lru_eviction_order():
+    disk, pool = make_pool(capacity=2)
+    pool.access("f", 0)
+    pool.access("f", 1)
+    pool.access("f", 0)      # page 0 becomes most-recent
+    pool.access("f", 2)      # evicts page 1
+    assert pool.contains("f", 0)
+    assert not pool.contains("f", 1)
+    assert pool.contains("f", 2)
+
+
+def test_dirty_eviction_writes_back():
+    disk, pool = make_pool(capacity=1)
+    pool.access("f", 0, dirty=True)
+    pool.access("f", 1)      # evicts dirty page 0
+    assert pool.stats.dirty_evictions == 1
+    assert disk.counters.pages_written == 1
+
+
+def test_clean_eviction_does_not_write():
+    disk, pool = make_pool(capacity=1)
+    pool.access("f", 0)
+    pool.access("f", 1)
+    assert pool.stats.clean_evictions == 1
+    assert disk.counters.pages_written == 0
+
+
+def test_dirty_flag_is_sticky_until_flush():
+    disk, pool = make_pool()
+    pool.access("f", 0, dirty=True)
+    pool.access("f", 0)          # clean access must not clear the dirty bit
+    assert pool.is_dirty("f", 0)
+    written = pool.flush_all()
+    assert written == 1
+    assert not pool.is_dirty("f", 0)
+
+
+def test_create_registers_new_page_without_read():
+    disk, pool = make_pool()
+    pool.create("f", 0)
+    assert disk.counters.pages_read == 0
+    assert pool.is_dirty("f", 0)
+
+
+def test_drop_file_discards_only_that_file():
+    disk, pool = make_pool()
+    pool.access("a", 0, dirty=True)
+    pool.access("b", 0)
+    pool.drop_file("a")
+    assert not pool.contains("a", 0)
+    assert pool.contains("b", 0)
+    # Dropped dirty pages are not written (the file was rebuilt).
+    assert disk.counters.pages_written == 0
+
+
+def test_clear_cold_cache():
+    disk, pool = make_pool()
+    pool.access("f", 0, dirty=True)
+    pool.clear()
+    assert pool.resident_pages == 0
+    assert disk.counters.pages_written == 0
+
+
+def test_clear_with_write_back():
+    disk, pool = make_pool()
+    pool.access("f", 0, dirty=True)
+    pool.clear(write_dirty=True)
+    assert disk.counters.pages_written == 1
+
+
+def test_hit_rate():
+    disk, pool = make_pool()
+    pool.access("f", 0)
+    pool.access("f", 0)
+    pool.access("f", 1)
+    assert pool.stats.hit_rate == pytest.approx(1 / 3)
+
+
+def test_resident_and_dirty_page_counts():
+    disk, pool = make_pool(capacity=10)
+    pool.access("f", 0, dirty=True)
+    pool.access("f", 1)
+    pool.access("f", 2, dirty=True)
+    assert pool.resident_pages == 3
+    assert pool.dirty_pages == 2

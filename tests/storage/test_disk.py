@@ -1,0 +1,111 @@
+"""Tests for the simulated disk and I/O accounting."""
+
+import pytest
+
+from repro.storage.disk import DiskModel, DiskParameters, IOBreakdown
+
+
+def test_default_parameters_match_paper_table1():
+    params = DiskParameters()
+    assert params.seek_cost_ms == pytest.approx(5.5)
+    assert params.seq_page_cost_ms == pytest.approx(0.078)
+
+
+def test_sequential_reads_within_one_file_are_cheap():
+    disk = DiskModel()
+    disk.read_page("heap", 0)
+    for page_no in range(1, 100):
+        disk.read_page("heap", page_no)
+    counters = disk.counters
+    assert counters.random_reads == 1  # only the initial positioning seek
+    assert counters.sequential_reads == 99
+
+
+def test_rereading_the_same_page_counts_as_sequential():
+    disk = DiskModel()
+    disk.read_page("heap", 5)
+    disk.read_page("heap", 5)
+    assert disk.counters.random_reads == 1
+    assert disk.counters.sequential_reads == 1
+
+
+def test_jumps_within_a_file_are_seeks():
+    disk = DiskModel()
+    disk.read_page("heap", 0)
+    disk.read_page("heap", 100)
+    disk.read_page("heap", 3)
+    assert disk.counters.random_reads == 3
+    assert disk.counters.sequential_reads == 0
+
+
+def test_interleaving_files_costs_seeks():
+    disk = DiskModel()
+    disk.read_page("heap", 0)
+    disk.read_page("index", 0)
+    disk.read_page("heap", 1)
+    assert disk.counters.random_reads == 3
+
+
+def test_elapsed_time_combines_reads_writes_and_log():
+    params = DiskParameters(seek_cost_ms=10.0, seq_page_cost_ms=1.0, cpu_tuple_cost_ms=0.0)
+    disk = DiskModel(params)
+    disk.read_page("heap", 0)      # seek: 10
+    disk.read_page("heap", 1)      # sequential: 1
+    disk.write_page("heap", 2)     # sequential write: 1
+    disk.log_flush(pages=3)        # seek + 3 sequential: 13
+    assert disk.elapsed_ms() == pytest.approx(10 + 1 + 1 + 13)
+
+
+def test_log_flush_resets_head_position():
+    disk = DiskModel()
+    disk.read_page("heap", 0)
+    disk.log_flush(1)
+    disk.read_page("heap", 1)
+    # The read after the flush must seek back to the heap.
+    assert disk.counters.random_reads == 2
+
+
+def test_window_since_snapshot():
+    disk = DiskModel()
+    disk.read_page("heap", 0)
+    snap = disk.snapshot()
+    disk.read_page("heap", 1)
+    disk.read_page("heap", 2)
+    window = disk.window_since(snap)
+    assert window.pages_read == 2
+    assert window.sequential_reads == 2
+    assert window.random_reads == 0
+
+
+def test_reset_clears_counters_and_position():
+    disk = DiskModel()
+    disk.read_page("heap", 0)
+    disk.read_page("heap", 1)
+    disk.reset()
+    assert disk.counters.pages_read == 0
+    disk.read_page("heap", 2)
+    assert disk.counters.random_reads == 1
+
+
+def test_cpu_tuples_contribute_to_elapsed_time():
+    params = DiskParameters(cpu_tuple_cost_ms=0.5)
+    disk = DiskModel(params)
+    disk.charge_cpu_tuples(10)
+    assert disk.elapsed_ms() == pytest.approx(5.0)
+
+
+def test_breakdown_subtract_and_copy():
+    a = IOBreakdown(sequential_reads=5, random_reads=2, log_flushes=1)
+    b = IOBreakdown(sequential_reads=3, random_reads=1)
+    diff = a.subtract(b)
+    assert diff.sequential_reads == 2
+    assert diff.random_reads == 1
+    assert diff.log_flushes == 1
+    copy = a.copy()
+    copy.sequential_reads = 0
+    assert a.sequential_reads == 5
+
+
+def test_breakdown_seeks_property():
+    breakdown = IOBreakdown(random_reads=2, random_writes=3, log_flushes=1)
+    assert breakdown.seeks == 6

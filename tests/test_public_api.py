@@ -1,0 +1,33 @@
+"""The top-level package exposes the documented public API."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_quickstart_surface():
+    """The names used in the README quickstart are importable from the root."""
+    from repro import (
+        Aggregate,
+        Between,
+        CMAdvisor,
+        CorrelationMap,
+        Database,
+        Query,
+        WidthBucketer,
+    )
+
+    assert callable(Database)
+    assert callable(Query.select)
+    assert callable(Aggregate.count)
+    assert callable(WidthBucketer)
+    assert callable(CMAdvisor)
+    assert callable(CorrelationMap)
+    assert callable(Between)

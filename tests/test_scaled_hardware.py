@@ -1,0 +1,65 @@
+"""Tests for the benchmark harness's seek-cost scaling."""
+
+import pytest
+
+from repro.bench.harness import scaled_disk_parameters
+from repro.core.cost import scan_cost, sorted_lookup_cost
+from repro.core.model import CorrelationProfile, HardwareParameters, TableProfile
+
+
+def test_scaled_disk_parameters_only_scales_the_seek():
+    params = scaled_disk_parameters(10)
+    assert params.seek_cost_ms == pytest.approx(0.55)
+    assert params.seq_page_cost_ms == pytest.approx(0.078)
+    assert params.page_size_bytes == 8192
+
+
+def test_scale_must_be_positive():
+    with pytest.raises(ValueError):
+        scaled_disk_parameters(0)
+    with pytest.raises(ValueError):
+        scaled_disk_parameters(-3)
+
+
+def test_scaling_preserves_the_papers_crossover_shape():
+    """Scaling table size and seek cost by the same factor preserves the
+    ratio between an index lookup and a full scan (the quantity every
+    experiment is about)."""
+    correlation = CorrelationProfile(c_per_u=4.0, c_tups=7_000, u_tups=7_000)
+
+    paper_profile = TableProfile(total_tups=18_000_000, tups_per_page=60)
+    paper_hw = HardwareParameters()
+    paper_ratio = sorted_lookup_cost(100, correlation, paper_profile, paper_hw) / scan_cost(
+        paper_profile, paper_hw
+    )
+
+    factor = 180
+    scaled_profile = TableProfile(total_tups=18_000_000 // factor, tups_per_page=60)
+    scaled_corr = CorrelationProfile(
+        c_per_u=4.0, c_tups=7_000 / factor, u_tups=7_000 / factor
+    )
+    scaled_hw = HardwareParameters.from_disk(scaled_disk_parameters(factor))
+    scaled_ratio = sorted_lookup_cost(
+        100, scaled_corr, scaled_profile, scaled_hw
+    ) / scan_cost(scaled_profile, scaled_hw)
+
+    assert scaled_ratio == pytest.approx(paper_ratio, rel=0.05)
+
+
+def test_unscaled_seek_on_a_tiny_table_would_distort_the_shape():
+    """Without the seek scaling, index plans on the shrunken table look far
+    worse relative to a scan than they would at paper scale -- the artifact
+    the scaling removes."""
+    correlation_paper = CorrelationProfile(c_per_u=4.0, c_tups=7_000, u_tups=7_000)
+    paper_profile = TableProfile(total_tups=18_000_000, tups_per_page=60)
+    hw = HardwareParameters()
+    paper_ratio = sorted_lookup_cost(
+        100, correlation_paper, paper_profile, hw
+    ) / scan_cost(paper_profile, hw)
+
+    small_profile = TableProfile(total_tups=100_000, tups_per_page=60)
+    small_corr = CorrelationProfile(c_per_u=4.0, c_tups=40, u_tups=40)
+    small_ratio = sorted_lookup_cost(100, small_corr, small_profile, hw) / scan_cost(
+        small_profile, hw
+    )
+    assert small_ratio > 2 * paper_ratio
