@@ -74,6 +74,24 @@ class ExperimentScale:
         return cls(factor=scale_factor())
 
 
+def _make_database(
+    buffer_pool_pages: int, seek_scale: float, stats_sample_size: int | None
+) -> Database:
+    """A Database with scaled disk timing and optional statistics-sample cap.
+
+    ``stats_sample_size=None`` keeps the engine default, which is large enough
+    that every bundled data set gets exact (complete-sample) statistics; pass a
+    smaller cap to exercise the estimated-statistics path at benchmark scale.
+    """
+    kwargs: dict[str, Any] = {
+        "buffer_pool_pages": buffer_pool_pages,
+        "disk_params": scaled_disk_parameters(seek_scale),
+    }
+    if stats_sample_size is not None:
+        kwargs["stats_sample_size"] = stats_sample_size
+    return Database(**kwargs)
+
+
 # ---------------------------------------------------------------------------
 # eBay (Experiments 1-4: Figures 6, 7, 8, 9, 10)
 # ---------------------------------------------------------------------------
@@ -96,6 +114,7 @@ def build_ebay_database(
     cluster_on: str = "catid",
     seek_scale: float = EBAY_SEEK_SCALE,
     seed: int = 42,
+    stats_sample_size: int | None = None,
 ) -> tuple[Database, list[dict[str, Any]]]:
     """The ITEMS table clustered on CATID (the Experiment 1-4 setup)."""
     scale = scale or ExperimentScale.from_environment()
@@ -105,10 +124,7 @@ def build_ebay_database(
         seed=seed,
     )
     rows = generate_items(config)
-    db = Database(
-        buffer_pool_pages=buffer_pool_pages,
-        disk_params=scaled_disk_parameters(seek_scale),
-    )
+    db = _make_database(buffer_pool_pages, seek_scale, stats_sample_size)
     db.create_table("items", sample_row=rows[0], tups_per_page=tups_per_page)
     db.load("items", rows)
     db.cluster("items", cluster_on, pages_per_bucket=pages_per_bucket)
@@ -140,6 +156,7 @@ def build_tpch_database(
     orderdate_span_days: int = 365,
     seek_scale: float = TPCH_SEEK_SCALE,
     seed: int = 7,
+    stats_sample_size: int | None = None,
 ) -> tuple[Database, list[dict[str, Any]]]:
     """The lineitem table, by default clustered on receiptdate (correlated).
 
@@ -155,10 +172,7 @@ def build_tpch_database(
         seed=seed,
     )
     rows = generate_lineitem(config)
-    db = Database(
-        buffer_pool_pages=buffer_pool_pages,
-        disk_params=scaled_disk_parameters(seek_scale),
-    )
+    db = _make_database(buffer_pool_pages, seek_scale, stats_sample_size)
     db.create_table("lineitem", sample_row=rows[0], tups_per_page=tups_per_page)
     db.load("lineitem", rows)
     db.cluster("lineitem", cluster_on, pages_per_bucket=pages_per_bucket)
@@ -196,14 +210,12 @@ def build_sdss_database(
     cluster_on: str = "objid",
     pages_per_bucket: int | None = 10,
     seek_scale: float = SDSS_SEEK_SCALE,
+    stats_sample_size: int | None = None,
     **row_kwargs,
 ) -> tuple[Database, list[dict[str, Any]]]:
     """The PhotoObj-style table clustered on objID (the Experiment 5 setup)."""
     rows = build_sdss_rows(scale, **row_kwargs)
-    db = Database(
-        buffer_pool_pages=buffer_pool_pages,
-        disk_params=scaled_disk_parameters(seek_scale),
-    )
+    db = _make_database(buffer_pool_pages, seek_scale, stats_sample_size)
     db.create_table("photoobj", sample_row=rows[0], tups_per_page=tups_per_page)
     db.load("photoobj", rows)
     db.cluster("photoobj", cluster_on, pages_per_bucket=pages_per_bucket)

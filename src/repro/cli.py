@@ -51,7 +51,7 @@ _DATASETS = {
 }
 
 
-def _run_demo() -> int:
+def _run_demo(limit: int | None = None) -> int:
     """Inline quickstart (the installable twin of ``examples/quickstart.py``)."""
     import random
 
@@ -76,6 +76,17 @@ def _run_demo() -> int:
             f"  {method:<20} count={result.value:<5} "
             f"{result.elapsed_ms:8.2f} ms simulated, {result.pages_visited} pages"
         )
+    if limit is not None:
+        total_pages = db.table("items").num_pages
+        limited = Query.select("items", Between("price", 10_000, 10_800), limit=limit)
+        print(f"\nstreaming with LIMIT {limit} (table has {total_pages} pages):")
+        for method in ("seq_scan", "cm_scan"):
+            result = db.run_query(limited, force=method, cold_cache=True)
+            print(
+                f"  {method:<20} rows={result.rows_matched:<5} "
+                f"{result.elapsed_ms:8.2f} ms simulated, "
+                f"{result.pages_visited}/{total_pages} pages swept"
+            )
     return 0
 
 
@@ -138,6 +149,13 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     return 0
 
 
+def _non_negative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be non-negative")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -146,9 +164,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("demo", help="run the quickstart scenario").set_defaults(
-        func=lambda args: _run_demo()
+    demo = sub.add_parser("demo", help="run the quickstart scenario")
+    demo.add_argument(
+        "--limit",
+        type=_non_negative_int,
+        default=None,
+        help="also run a LIMIT query through the streaming executor",
     )
+    demo.set_defaults(func=lambda args: _run_demo(limit=args.limit))
     sub.add_parser("datasets", help="describe the bundled data sets").set_defaults(
         func=_cmd_datasets
     )

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Sequence
 
+from repro.core.bucketing import IdentityBucketer
 from repro.core.composite import CompositeKeySpec
 from repro.core.model import CorrelationProfile
 from repro.sampling.adaptive import adaptive_estimate
@@ -163,6 +164,176 @@ class StatisticsCollector:
         if isinstance(key, CompositeKeySpec):
             return key
         return CompositeKeySpec.build([key])
+
+
+#: Default reservoir capacity for incremental table statistics.  Large enough
+#: that every bundled data set (<= ~100 k rows) keeps a *complete* sample --
+#: exact statistics, bit-identical plans -- while genuinely large tables
+#: degrade gracefully to sample-based estimates.
+DEFAULT_STATS_SAMPLE_SIZE = 100_000
+
+
+class IncrementalTableStatistics:
+    """Planner statistics maintained incrementally, never scanning the heap.
+
+    The paper's planner needs three families of statistics: distinct counts
+    (for ``n_lookups`` and cardinalities), correlation profiles (``c_per_u``,
+    ``c_tups``, ``u_tups`` of Table 2), and attribute min/max (range
+    selectivity).  All three are served from state maintained as rows flow
+    through the table:
+
+    * a reservoir row sample (:class:`~repro.sampling.reservoir.ReservoirSampler`)
+      updated on every insert and delete -- exact while it still holds every
+      live row, estimated (Adaptive Estimator) beyond that;
+    * per-attribute min/max updated on insert; deletes leave the bounds
+      conservatively wide (a shrinking domain only ever over-estimates the
+      lookup count, never under);
+    * the live row count.
+
+    Derived profiles are cached until the next insert/delete, so repeated
+    planning between updates is O(1) and planning after an update is bounded
+    by the sample size -- independent of the heap.
+    """
+
+    def __init__(
+        self, *, sample_capacity: int = DEFAULT_STATS_SAMPLE_SIZE, seed: int = 0
+    ) -> None:
+        if sample_capacity <= 0:
+            raise ValueError("sample_capacity must be positive")
+        self.sample_capacity = sample_capacity
+        self._seed = seed
+        self._reset()
+
+    def _reset(self) -> None:
+        self._reservoir = ReservoirSampler(self.sample_capacity, seed=self._seed)
+        self._total_rows = 0
+        self._minmax: dict[str, tuple[Any, Any]] = {}
+        #: Attributes whose values turned out not to be mutually comparable.
+        self._untracked: set[str] = set()
+        self._profile_cache: dict[tuple, CorrelationProfile] = {}
+        self._cardinality_cache: dict[tuple, int] = {}
+
+    # -- maintenance ------------------------------------------------------------
+
+    def observe_insert(self, row: Mapping[str, Any]) -> None:
+        self._total_rows += 1
+        self._reservoir.add(row)
+        for attribute, value in row.items():
+            self._observe_value(attribute, value)
+        self._invalidate()
+
+    def observe_delete(self, row: Mapping[str, Any]) -> None:
+        self._total_rows = max(0, self._total_rows - 1)
+        self._reservoir.discard(row)
+        # min/max stay conservatively wide; a rebuild tightens them again.
+        self._invalidate()
+
+    def rebuild(self, rows: Iterable[Mapping[str, Any]]) -> None:
+        """Recompute from scratch (used by DDL that rewrites the heap anyway)."""
+        self._reset()
+        for row in rows:
+            self._total_rows += 1
+            self._reservoir.add(row)
+            for attribute, value in row.items():
+                self._observe_value(attribute, value)
+
+    def _observe_value(self, attribute: str, value: Any) -> None:
+        if attribute in self._untracked:
+            return
+        bounds = self._minmax.get(attribute)
+        if bounds is None:
+            self._minmax[attribute] = (value, value)
+            return
+        low, high = bounds
+        try:
+            if value < low:
+                low = value
+            elif value > high:
+                high = value
+        except TypeError:
+            self._untracked.add(attribute)
+            self._minmax.pop(attribute, None)
+            return
+        self._minmax[attribute] = (low, high)
+
+    def _invalidate(self) -> None:
+        self._profile_cache.clear()
+        self._cardinality_cache.clear()
+
+    # -- views ------------------------------------------------------------------
+
+    @property
+    def total_rows(self) -> int:
+        return self._total_rows
+
+    @property
+    def sample_rows(self) -> list[Mapping[str, Any]]:
+        return self._reservoir.sample
+
+    @property
+    def sample_is_complete(self) -> bool:
+        """True while the reservoir still holds every live row (exact mode)."""
+        return len(self._reservoir) == self._total_rows
+
+    def attribute_range(self, attribute: str) -> tuple[Any, Any] | None:
+        """Incrementally-maintained ``(min, max)``; ``None`` when unknown."""
+        return self._minmax.get(attribute)
+
+    # -- derived statistics ------------------------------------------------------
+
+    def cardinality(self, key: CompositeKeySpec | str) -> int:
+        """Distinct-value count of an attribute or composite key.
+
+        Exact while the sample is complete; otherwise the Adaptive Estimator
+        scaled to the live row count.
+        """
+        spec = StatisticsCollector._as_spec(key)
+        cache_key = self._spec_cache_key(spec)
+        if cache_key is not None and cache_key in self._cardinality_cache:
+            return self._cardinality_cache[cache_key]
+        rows = self._reservoir.sample
+        if not rows:
+            return 0
+        keys = [spec.key_of(row) for row in rows]
+        if self.sample_is_complete:
+            estimate = len(set(keys))
+        else:
+            estimate = int(round(adaptive_estimate(keys, max(self._total_rows, len(keys)))))
+        if cache_key is not None:
+            self._cardinality_cache[cache_key] = estimate
+        return estimate
+
+    def correlation_profile(
+        self,
+        unclustered: CompositeKeySpec | str,
+        clustered: CompositeKeySpec | str,
+    ) -> CorrelationProfile:
+        """Table 2 statistics for (Au, Ac), exact or sample-estimated."""
+        u_spec = StatisticsCollector._as_spec(unclustered)
+        c_spec = StatisticsCollector._as_spec(clustered)
+        u_key = self._spec_cache_key(u_spec)
+        c_key = self._spec_cache_key(c_spec)
+        cache_key = (u_key, c_key) if u_key is not None and c_key is not None else None
+        if cache_key is not None and cache_key in self._profile_cache:
+            return self._profile_cache[cache_key]
+        rows = self._reservoir.sample
+        collector = StatisticsCollector(rows)
+        if self.sample_is_complete:
+            profile = collector.correlation_profile(u_spec, c_spec)
+        else:
+            profile = collector.estimated_correlation_profile(
+                u_spec, c_spec, rows, total_rows=self._total_rows
+            )
+        if cache_key is not None:
+            self._profile_cache[cache_key] = profile
+        return profile
+
+    @staticmethod
+    def _spec_cache_key(spec: CompositeKeySpec) -> tuple | None:
+        """A hashable cache key for unbucketed specs (the planner's case)."""
+        if any(not isinstance(part.bucketer, IdentityBucketer) for part in spec.parts):
+            return None
+        return tuple(spec.attributes)
 
 
 def exact_c_per_u(

@@ -20,15 +20,22 @@ Four access methods are implemented, mirroring Sections 3 and 5 of the paper:
     query into clustered-index lookups on the returned clustered values (or
     clustered bucket ids), sweep those page ranges and re-apply the original
     predicate to drop false positives.
+
+Every path streams: :meth:`AccessPath.iter_rows` is a generator built on one
+shared scan kernel (page sweep + residual filter + counter charging) and an
+:class:`~repro.engine.executor.ExecutionContext` that carries counters, the
+LIMIT budget and the projection.  :meth:`AccessPath.execute` is a thin
+materialising wrapper kept for callers that want every row at once.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterable, Iterator
 
 from repro.core.correlation_map import CorrelationMap
 from repro.core.rewriter import QueryRewriter
+from repro.engine.executor import ExecutionContext
 from repro.engine.predicates import Between, Equals, InSet, Predicate, PredicateSet
 from repro.engine.table import BUCKET_COLUMN, Table
 from repro.index.bitmap import PageBitmap
@@ -56,8 +63,66 @@ class AccessPath:
         self.table = table
         self.predicates = predicates
 
-    def execute(self) -> AccessResult:
+    # -- streaming interface ----------------------------------------------------
+
+    def iter_rows(self, context: ExecutionContext | None = None) -> Iterator[dict[str, Any]]:
+        """Stream matching rows, charging counters on ``context`` as they flow."""
+        context = context or ExecutionContext()
+        if context.limit_reached:
+            return
+        yield from self._stream(context)
+
+    def _stream(self, context: ExecutionContext) -> Iterator[dict[str, Any]]:
         raise NotImplementedError
+
+    def execute(self, context: ExecutionContext | None = None) -> AccessResult:
+        """Materialise the stream into an :class:`AccessResult` (compatibility)."""
+        context = context or ExecutionContext()
+        rows = list(self.iter_rows(context))
+        counters = context.counters
+        return AccessResult(
+            rows=rows,
+            rows_examined=counters.rows_examined,
+            pages_visited=counters.pages_visited,
+            lookups=counters.lookups,
+            rewritten_sql=context.rewritten_sql,
+        )
+
+    # -- the shared scan kernel -------------------------------------------------
+
+    def _sweep_pages(
+        self, pages: Iterable[int], context: ExecutionContext
+    ) -> Iterator[dict[str, Any]]:
+        """Page sweep + residual filter + counter charging (all sweep paths).
+
+        Pages are read through the buffer pool in the order given; every live
+        tuple is charged as examined and filtered with the full predicate set.
+        The sweep stops between rows and between pages once the LIMIT budget
+        is spent, so remaining pages are never read.
+        """
+        heap = self.table.heap
+        for page_no in pages:
+            if context.limit_reached:
+                return
+            page = heap.read_page(page_no)
+            context.counters.pages_visited += 1
+            examined = 0
+            try:
+                for _slot, row in page.live_rows():
+                    examined += 1
+                    context.counters.rows_examined += 1
+                    if self.predicates.matches(row):
+                        yield context.emit(row)
+                        if context.limit_reached:
+                            break
+            finally:
+                # CPU is charged once per page (the counter is purely additive
+                # so the total matches per-tuple charging); the finally makes
+                # the charge land even when the consumer abandons the stream
+                # mid-page.
+                self._charge_cpu(examined)
+            if context.limit_reached:
+                return
 
     def _charge_cpu(self, rows_examined: int) -> None:
         self.table.buffer_pool.disk.charge_cpu_tuples(rows_examined)
@@ -68,15 +133,8 @@ class SeqScan(AccessPath):
 
     name = "seq_scan"
 
-    def execute(self) -> AccessResult:
-        result = AccessResult()
-        for _rid, row in self.table.heap.scan():
-            result.rows_examined += 1
-            if self.predicates.matches(row):
-                result.rows.append(row)
-        result.pages_visited = self.table.heap.num_pages
-        self._charge_cpu(result.rows_examined)
-        return result
+    def _stream(self, context: ExecutionContext) -> Iterator[dict[str, Any]]:
+        yield from self._sweep_pages(range(self.table.heap.num_pages), context)
 
 
 def _lookup_values_for_index(
@@ -146,17 +204,11 @@ class SortedIndexScan(AccessPath):
         super().__init__(table, predicates)
         self.index = index
 
-    def execute(self) -> AccessResult:
-        result = AccessResult()
-        rids, result.lookups = _probe_index(self.index, self.predicates)
+    def _stream(self, context: ExecutionContext) -> Iterator[dict[str, Any]]:
+        rids, lookups = _probe_index(self.index, self.predicates)
+        context.counters.lookups += lookups
         bitmap = PageBitmap(rid.page_no for rid in rids)
-        result.pages_visited = len(bitmap)
-        for _rid, row in self.table.heap.scan_pages(bitmap.pages()):
-            result.rows_examined += 1
-            if self.predicates.matches(row):
-                result.rows.append(row)
-        self._charge_cpu(result.rows_examined)
-        return result
+        yield from self._sweep_pages(bitmap.pages(), context)
 
 
 class PipelinedIndexScan(AccessPath):
@@ -170,21 +222,23 @@ class PipelinedIndexScan(AccessPath):
         super().__init__(table, predicates)
         self.index = index
 
-    def execute(self) -> AccessResult:
-        result = AccessResult()
-        rids, result.lookups = _probe_index(self.index, self.predicates)
-        visited_pages = set()
+    def _stream(self, context: ExecutionContext) -> Iterator[dict[str, Any]]:
+        rids, lookups = _probe_index(self.index, self.predicates)
+        context.counters.lookups += lookups
+        visited_pages: set[int] = set()
         for rid in rids:
+            if context.limit_reached:
+                return
             row = self.table.heap.fetch(rid)
-            visited_pages.add(rid.page_no)
+            if rid.page_no not in visited_pages:
+                visited_pages.add(rid.page_no)
+                context.counters.pages_visited += 1
             if row is None:
                 continue
-            result.rows_examined += 1
+            context.counters.rows_examined += 1
+            self._charge_cpu(1)
             if self.predicates.matches(row):
-                result.rows.append(row)
-        result.pages_visited = len(visited_pages)
-        self._charge_cpu(result.rows_examined)
-        return result
+                yield context.emit(row)
 
 
 class ClusteredIndexScan(AccessPath):
@@ -192,8 +246,7 @@ class ClusteredIndexScan(AccessPath):
 
     name = "clustered_index_scan"
 
-    def execute(self) -> AccessResult:
-        result = AccessResult()
+    def _stream(self, context: ExecutionContext) -> Iterator[dict[str, Any]]:
         clustered_attr = self.table.clustered_attribute
         index = self.table.clustered_index
         if clustered_attr is None or index is None:
@@ -204,19 +257,13 @@ class ClusteredIndexScan(AccessPath):
         pages: set[int] = set()
         if isinstance(predicate, Between):
             pages.update(index.pages_for_range(predicate.low, predicate.high))
-            result.lookups = 1
+            context.counters.lookups += 1
         else:
             for value in predicate.lookup_values or ():
                 pages.update(index.pages_for_value(value))
-                result.lookups += 1
+                context.counters.lookups += 1
         pages.update(self.table.tail_pages())
-        for _rid, row in self.table.heap.scan_pages(sorted(pages)):
-            result.rows_examined += 1
-            if self.predicates.matches(row):
-                result.rows.append(row)
-        result.pages_visited = len(pages)
-        self._charge_cpu(result.rows_examined)
-        return result
+        yield from self._sweep_pages(sorted(pages), context)
 
 
 class CorrelationMapScan(AccessPath):
@@ -229,28 +276,19 @@ class CorrelationMapScan(AccessPath):
         self.cm = cm
         self.uses_buckets = table.cm_uses_buckets(cm.name)
 
-    def execute(self) -> AccessResult:
-        result = AccessResult()
+    def _stream(self, context: ExecutionContext) -> Iterator[dict[str, Any]]:
         clustered_column = BUCKET_COLUMN if self.uses_buckets else None
         rewriter = QueryRewriter(self.cm, clustered_column=clustered_column)
         constraints = self.predicates.constraints()
         rewritten = rewriter.rewrite(constraints)
-        result.rewritten_sql = rewritten.to_sql(self.table.name)
-        result.lookups = len(rewritten.clustered_values)
+        context.rewritten_sql = rewritten.to_sql(self.table.name)
+        context.counters.lookups += len(rewritten.clustered_values)
         if rewritten.is_empty:
-            return result
+            return
         pages = self.table.pages_for_targets(
             rewritten.clustered_values, uses_buckets=self.uses_buckets
         )
         # One clustered-index descent per contiguous group of targets.
         if self.table.clustered_index is not None:
-            groups = PageBitmap(pages).num_runs
-            for _ in range(groups):
-                self.table.clustered_index._charge_descent()
-        result.pages_visited = len(pages)
-        for _rid, row in self.table.heap.scan_pages(pages):
-            result.rows_examined += 1
-            if self.predicates.matches(row):
-                result.rows.append(row)
-        self._charge_cpu(result.rows_examined)
-        return result
+            self.table.clustered_index.charge_descents(PageBitmap(pages).num_runs)
+        yield from self._sweep_pages(pages, context)

@@ -19,10 +19,12 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.core.bucketing import Bucketer
 from repro.core.model import HardwareParameters
+from repro.core.statistics import DEFAULT_STATS_SAMPLE_SIZE
+from repro.engine.executor import ExecutionContext
 from repro.engine.planner import Planner
 from repro.engine.predicates import Predicate, PredicateSet
 from repro.engine.query import Query, QueryResult
@@ -66,6 +68,7 @@ class Database:
         *,
         disk_params: DiskParameters | None = None,
         buffer_pool_pages: int = DEFAULT_BUFFER_POOL_PAGES,
+        stats_sample_size: int = DEFAULT_STATS_SAMPLE_SIZE,
     ) -> None:
         self.disk = DiskModel(disk_params)
         self.buffer_pool = BufferPool(self.disk, capacity_pages=buffer_pool_pages)
@@ -73,6 +76,7 @@ class Database:
         self.transactions = TransactionManager(self.wal)
         self.hardware = HardwareParameters.from_disk(self.disk.params)
         self.planner = Planner(self.hardware)
+        self.stats_sample_size = stats_sample_size
         self.tables: dict[str, Table] = {}
 
     # -- DDL ---------------------------------------------------------------------
@@ -96,7 +100,12 @@ class Database:
                 schema = TableSchema.from_columns(name, columns)
             else:
                 raise ValueError("provide a schema, columns, or a sample row")
-        table = Table(schema, self.buffer_pool, tups_per_page=tups_per_page)
+        table = Table(
+            schema,
+            self.buffer_pool,
+            tups_per_page=tups_per_page,
+            stats_sample_size=self.stats_sample_size,
+        )
         self.tables[name] = table
         return table
 
@@ -143,26 +152,42 @@ class Database:
 
     # -- queries -----------------------------------------------------------------------
 
-    def query(
+    def run_query(
         self,
         query: Query,
         *,
         force: str | None = None,
         cold_cache: bool = False,
+        limit: int | None = None,
+        projection: Sequence[str] | None = None,
     ) -> QueryResult:
         """Plan and execute a query, returning rows/value plus I/O statistics.
 
         ``force`` pins the access method (one of the names in
         :data:`repro.engine.planner.FORCE_METHODS`); ``cold_cache=True``
         empties the buffer pool first, matching the paper's methodology of
-        dropping caches between measured runs.
+        dropping caches between measured runs.  ``limit``/``projection``
+        override the query's own values; a satisfied LIMIT terminates the
+        page sweep early, so the remaining heap pages are never read.
+
+        Note that plan *selection* is limit-agnostic: candidates are costed
+        as if the full result were needed (a LIMIT-aware cost model is a
+        ROADMAP open item), so a very small LIMIT may run through an index
+        plan where a limit-terminated scan would have been cheaper.
         """
+        if query.aggregate is not None and (limit is not None or projection is not None):
+            raise ValueError(
+                "limit/projection cannot be combined with an aggregate: the "
+                "aggregate consumes the full matching row stream"
+            )
         table = self.table(query.table)
+        context = ExecutionContext.for_query(query, limit=limit, projection=projection)
+        self._validate_projection(table, context.projection)
         if cold_cache:
             self.drop_caches()
         plan = self.planner.choose(table, query, force=force)
         before = self.disk.snapshot()
-        outcome = plan.path.execute()
+        outcome = plan.path.execute(context)
         io = self.disk.window_since(before)
         result = QueryResult(
             query=query,
@@ -179,6 +204,47 @@ class Database:
         if query.aggregate is not None:
             result.value = query.aggregate.compute(outcome.rows)
         return result
+
+    def query(
+        self,
+        query: Query,
+        *,
+        force: str | None = None,
+        cold_cache: bool = False,
+    ) -> QueryResult:
+        """Compatibility wrapper over :meth:`run_query`."""
+        return self.run_query(query, force=force, cold_cache=cold_cache)
+
+    def stream(
+        self,
+        query: Query,
+        *,
+        force: str | None = None,
+        limit: int | None = None,
+        projection: Sequence[str] | None = None,
+    ) -> Iterator[dict[str, Any]]:
+        """Plan a query and yield matching rows as they are produced.
+
+        Nothing is materialised: rows flow straight out of the access path's
+        generator pipeline, and abandoning the iterator stops the scan (pages
+        past the last consumed row are never read).  Aggregating queries are
+        rejected -- an aggregate needs the whole stream; use :meth:`run_query`.
+        """
+        if query.aggregate is not None:
+            raise ValueError("stream() does not support aggregating queries")
+        table = self.table(query.table)
+        context = ExecutionContext.for_query(query, limit=limit, projection=projection)
+        self._validate_projection(table, context.projection)
+        plan = self.planner.choose(table, query, force=force)
+        return plan.path.iter_rows(context)
+
+    @staticmethod
+    def _validate_projection(table: Table, projection: Sequence[str] | None) -> None:
+        for column in projection or ():
+            if not table.schema.has_column(column):
+                raise ValueError(
+                    f"unknown column {column!r} in projection for table {table.name!r}"
+                )
 
     def explain(self, query: Query) -> list[dict[str, Any]]:
         """The planner's candidate plans and estimated costs (for inspection)."""

@@ -1,0 +1,89 @@
+"""The streaming execution layer.
+
+Access paths produce rows through generator-based ``iter_rows`` pipelines;
+an :class:`ExecutionContext` travels down the pipeline carrying the shared
+execution counters, the LIMIT budget and the output projection.  Keeping the
+context separate from the access paths lets one query execution thread a
+single set of counters through index probes, correlation-map lookups and the
+heap sweep kernel, and lets LIMIT terminate the sweep as soon as enough rows
+have been emitted -- no access path ever materialises the table.
+
+``AccessResult`` (in :mod:`repro.engine.access`) remains as the materialised
+view of one finished execution for callers that want all rows at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.query import Query
+
+
+@dataclass
+class ExecutionCounters:
+    """Counters charged by every stage of one query execution."""
+
+    rows_examined: int = 0
+    pages_visited: int = 0
+    lookups: int = 0
+    rows_emitted: int = 0
+
+
+@dataclass
+class ExecutionContext:
+    """Per-execution state threaded through an access path's row pipeline.
+
+    Parameters
+    ----------
+    limit:
+        Stop after emitting this many rows (``None`` = no limit).  The scan
+        kernel checks the budget between rows and between pages, so a
+        satisfied LIMIT never sweeps the remaining pages.
+    projection:
+        Columns to keep in emitted rows (``None`` = whole row).  Projection
+        happens at emission time so residual predicates still see every
+        column.
+    """
+
+    limit: int | None = None
+    projection: tuple[str, ...] | None = None
+    counters: ExecutionCounters = field(default_factory=ExecutionCounters)
+    #: Filled in by :class:`repro.engine.access.CorrelationMapScan`.
+    rewritten_sql: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.limit is not None and self.limit < 0:
+            raise ValueError("limit must be non-negative")
+        if self.projection is not None:
+            self.projection = tuple(self.projection)
+
+    @classmethod
+    def for_query(
+        cls,
+        query: "Query",
+        *,
+        limit: int | None = None,
+        projection: Sequence[str] | None = None,
+    ) -> "ExecutionContext":
+        """A context honouring the query's LIMIT/projection, with overrides."""
+        if limit is None:
+            limit = query.limit
+        if projection is None:
+            projection = query.projection
+        return cls(
+            limit=limit,
+            projection=tuple(projection) if projection is not None else None,
+        )
+
+    @property
+    def limit_reached(self) -> bool:
+        return self.limit is not None and self.counters.rows_emitted >= self.limit
+
+    def emit(self, row: Mapping[str, Any]) -> dict[str, Any]:
+        """Count one output row and apply the projection."""
+        self.counters.rows_emitted += 1
+        if self.projection is None:
+            return row if isinstance(row, dict) else dict(row)
+        return {column: row[column] for column in self.projection}

@@ -75,11 +75,13 @@ class Planner:
         if isinstance(predicate, Between):
             # Approximate the number of distinct values inside the range from
             # the attribute's cardinality, assuming a roughly uniform domain.
+            # Cardinality and domain bounds come from the incrementally
+            # maintained statistics -- plan enumeration never scans the heap.
             cardinality = table.attribute_cardinality(first)
-            values = [row[first] for row in table.all_rows()]
-            if not values:
+            bounds = table.attribute_range(first)
+            if bounds is None:
                 return 1
-            lo, hi = min(values), max(values)
+            lo, hi = bounds
             try:
                 span = float(hi) - float(lo)
                 width = float(predicate.high if predicate.high is not None else hi) - float(

@@ -72,16 +72,34 @@ class Aggregate:
 
 @dataclass
 class Query:
-    """A selection (optionally aggregating) query over one table."""
+    """A selection (optionally aggregating) query over one table.
+
+    ``limit`` caps the number of rows produced; the streaming executor stops
+    sweeping heap pages as soon as the cap is met.  ``projection`` names the
+    columns kept in the output rows (residual predicates still see every
+    column).  Neither combines with an aggregate: aggregates consume the full
+    matching row stream.
+    """
 
     table: str
     predicates: PredicateSet
     aggregate: Aggregate | None = None
     name: str = ""
+    limit: int | None = None
+    projection: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
         if isinstance(self.predicates, (list, tuple)):
             self.predicates = PredicateSet(self.predicates)
+        if self.limit is not None:
+            if self.limit < 0:
+                raise ValueError("limit must be non-negative")
+            if self.aggregate is not None:
+                raise ValueError("LIMIT cannot be combined with an aggregate")
+        if self.projection is not None:
+            if self.aggregate is not None:
+                raise ValueError("a projection cannot be combined with an aggregate")
+            self.projection = tuple(self.projection)
 
     @classmethod
     def select(
@@ -90,8 +108,17 @@ class Query:
         *predicates: Predicate,
         aggregate: Aggregate | None = None,
         name: str = "",
+        limit: int | None = None,
+        projection: Sequence[str] | None = None,
     ) -> "Query":
-        return cls(table=table, predicates=PredicateSet(predicates), aggregate=aggregate, name=name)
+        return cls(
+            table=table,
+            predicates=PredicateSet(predicates),
+            aggregate=aggregate,
+            name=name,
+            limit=limit,
+            projection=tuple(projection) if projection is not None else None,
+        )
 
     def describe(self) -> str:
         select_list = "*"
@@ -104,7 +131,12 @@ class Query:
             else:
                 expr = "expr"
             select_list = f"{self.aggregate.kind.upper()}({expr})"
-        return f"SELECT {select_list} FROM {self.table} WHERE {self.predicates.describe()}"
+        elif self.projection is not None:
+            select_list = ", ".join(self.projection)
+        sql = f"SELECT {select_list} FROM {self.table} WHERE {self.predicates.describe()}"
+        if self.limit is not None:
+            sql += f" LIMIT {self.limit}"
+        return sql
 
 
 @dataclass

@@ -21,7 +21,7 @@ from repro.core.bucketing import Bucketer, assign_clustered_buckets
 from repro.core.composite import CompositeKeySpec
 from repro.core.correlation_map import CorrelationMap
 from repro.core.model import CorrelationProfile, TableProfile
-from repro.core.statistics import StatisticsCollector
+from repro.core.statistics import DEFAULT_STATS_SAMPLE_SIZE, IncrementalTableStatistics
 from repro.engine.schema import TableSchema
 from repro.index.clustered import ClusteredIndex
 from repro.index.secondary import SecondaryIndex
@@ -44,6 +44,7 @@ class Table:
         buffer_pool: BufferPool,
         *,
         tups_per_page: int | None = None,
+        stats_sample_size: int = DEFAULT_STATS_SAMPLE_SIZE,
     ) -> None:
         self.schema = schema
         self.buffer_pool = buffer_pool
@@ -62,7 +63,9 @@ class Table:
         #: CM name -> True when the CM maps to clustered bucket ids.
         self._cm_uses_buckets: dict[str, bool] = {}
 
-        self._stats_cache: StatisticsCollector | None = None
+        #: Planner statistics maintained incrementally under inserts/deletes;
+        #: planning never scans the heap (see ARCHITECTURE.md).
+        self.statistics = IncrementalTableStatistics(sample_capacity=stats_sample_size)
 
     # -- basic properties --------------------------------------------------------
 
@@ -100,9 +103,10 @@ class Table:
         """Bulk load rows (initial population; no buffer-pool traffic)."""
         count = 0
         for row in rows:
-            self.heap.append(dict(row), charge_io=False)
+            stored = dict(row)
+            self.heap.append(stored, charge_io=False)
+            self.statistics.observe_insert(stored)
             count += 1
-        self._invalidate_stats()
         return count
 
     def cluster_on(
@@ -135,7 +139,9 @@ class Table:
             self._assign_buckets(placed, attribute, pages_per_bucket)
 
         self._rebuild_secondary_structures()
-        self._invalidate_stats()
+        # Clustering already rewrites the whole heap (and may add the bucket
+        # column), so this is the one place statistics rebuild from a scan.
+        self.statistics.rebuild(self.heap.all_rows())
 
     def _assign_buckets(
         self,
@@ -304,7 +310,7 @@ class Table:
             index.insert(rid, row, charge_io=charge_io)
         for cm in self.correlation_maps.values():
             cm.insert(row)
-        self._invalidate_stats()
+        self.statistics.observe_insert(row)
         return rid
 
     def delete_row(self, rid: RID, *, charge_io: bool = True) -> dict[str, Any] | None:
@@ -317,18 +323,10 @@ class Table:
             index.delete(rid, row, charge_io=charge_io)
         for cm in self.correlation_maps.values():
             cm.delete(row)
-        self._invalidate_stats()
+        self.statistics.observe_delete(row)
         return row
 
     # -- statistics --------------------------------------------------------------------------------
-
-    def _invalidate_stats(self) -> None:
-        self._stats_cache = None
-
-    def _collector(self) -> StatisticsCollector:
-        if self._stats_cache is None:
-            self._stats_cache = StatisticsCollector(list(self.heap.all_rows()))
-        return self._stats_cache
 
     def table_profile(self) -> TableProfile:
         height = self.clustered_index.btree_height if self.clustered_index else 3
@@ -341,15 +339,24 @@ class Table:
     def correlation_profile(
         self, unclustered: CompositeKeySpec | str | Sequence[str]
     ) -> CorrelationProfile:
-        """Exact Table 2 statistics of (Au, clustered attribute)."""
+        """Table 2 statistics of (Au, clustered attribute).
+
+        Served from the incrementally-maintained sample: exact while the
+        sample still holds every live row, estimated beyond that.  Never
+        scans the heap.
+        """
         if self.clustered_attribute is None:
             raise RuntimeError("the table is not clustered")
         if isinstance(unclustered, (list, tuple)):
             unclustered = CompositeKeySpec.build(unclustered)
-        return self._collector().correlation_profile(unclustered, self.clustered_attribute)
+        return self.statistics.correlation_profile(unclustered, self.clustered_attribute)
 
     def attribute_cardinality(self, attribute: str) -> int:
-        return self._collector().summarize(attribute).distinct_values
+        return self.statistics.cardinality(attribute)
+
+    def attribute_range(self, attribute: str) -> tuple[Any, Any] | None:
+        """Incrementally-maintained ``(min, max)`` of ``attribute``."""
+        return self.statistics.attribute_range(attribute)
 
     def describe(self) -> str:
         parts = [

@@ -92,6 +92,15 @@ class ClusteredIndex:
         for level in range(self.btree_height):
             self.buffer_pool.access(self.name, level)
 
+    def charge_descents(self, n: int = 1) -> None:
+        """Charge the I/O of ``n`` root-to-leaf descents of the index.
+
+        Public entry point for executors that batch their descents (e.g. one
+        per contiguous page run of a correlation-map scan).
+        """
+        for _ in range(max(0, n)):
+            self._charge_descent()
+
     def pages_for_value(self, value: Any, *, charge_io: bool = True) -> list[int]:
         """Heap pages that may contain ``value`` (contiguous by construction)."""
         if charge_io:

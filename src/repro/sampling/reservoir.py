@@ -18,6 +18,11 @@ class ReservoirSampler:
     Algorithm R (Vitter): the first ``capacity`` items fill the reservoir;
     each later item replaces a random slot with probability
     ``capacity / items_seen``.
+
+    The reservoir is unordered, so deletions (:meth:`discard`) use
+    swap-remove, and an identity index maps stored objects to their slot --
+    deleting an item that is *the* sampled object (the common case when the
+    caller feeds the same row objects it stores) is O(1).
     """
 
     def __init__(self, capacity: int, *, seed: int | None = None) -> None:
@@ -27,6 +32,9 @@ class ReservoirSampler:
         self._rng = random.Random(seed)
         self._items: list[Any] = []
         self._seen = 0
+        #: id(stored object) -> its slot in ``_items``.  Entries exist exactly
+        #: for the objects currently stored, so ids are never stale.
+        self._slot_of: dict[int, int] = {}
 
     @property
     def items_seen(self) -> int:
@@ -46,15 +54,48 @@ class ReservoirSampler:
     def add(self, item: Any) -> None:
         self._seen += 1
         if len(self._items) < self.capacity:
+            self._slot_of[id(item)] = len(self._items)
             self._items.append(item)
             return
         slot = self._rng.randrange(self._seen)
         if slot < self.capacity:
+            evicted = self._items[slot]
+            self._slot_of.pop(id(evicted), None)
             self._items[slot] = item
+            self._slot_of[id(item)] = slot
 
     def extend(self, items: Iterable[Any]) -> None:
         for item in items:
             self.add(item)
+
+    def discard(self, item: Any) -> bool:
+        """Account for one deletion in the sampled stream.
+
+        The stream length shrinks regardless; the sampled copy of ``item`` is
+        removed when present.  Identity lookups hit the slot index in O(1);
+        an equal-but-distinct object falls back to one linear scan.  Returns
+        ``True`` when a sampled copy was removed.  Deletions keep the
+        reservoir approximately uniform -- and exactly complete whenever the
+        reservoir held the whole stream to begin with.
+        """
+        self._seen = max(0, self._seen - 1)
+        slot = self._slot_of.get(id(item))
+        if slot is None or self._items[slot] is not item:
+            slot = next(
+                (i for i, stored in enumerate(self._items) if stored == item), None
+            )
+            if slot is None:
+                return False
+        self._swap_remove(slot)
+        return True
+
+    def _swap_remove(self, slot: int) -> None:
+        removed = self._items[slot]
+        self._slot_of.pop(id(removed), None)
+        last = self._items.pop()
+        if slot < len(self._items):
+            self._items[slot] = last
+            self._slot_of[id(last)] = slot
 
     @classmethod
     def from_iterable(

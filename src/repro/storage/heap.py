@@ -39,6 +39,11 @@ class HeapFile:
         self._num_tuples = 0
         #: Appends never reuse pages below this index (see :meth:`seal`).
         self._min_append_page = 0
+        #: Count of every page whose tuples were read, including accounting-free
+        #: reads (:meth:`all_rows`, ``charge_io=False`` scans).  Lets tests
+        #: assert that a code path -- e.g. the planner -- never touches the
+        #: heap at all, which buffer-pool counters alone cannot show.
+        self.logical_page_reads = 0
 
     # -- basic properties ----------------------------------------------------
 
@@ -115,6 +120,7 @@ class HeapFile:
 
     def fetch(self, rid: RID, *, charge_io: bool = True) -> dict[str, Any] | None:
         """Fetch a single tuple by RID (one page access)."""
+        self.logical_page_reads += 1
         if charge_io:
             self.buffer_pool.access(self.name, rid.page_no)
         return self._page(rid.page_no).get(rid.slot)
@@ -122,6 +128,7 @@ class HeapFile:
     def read_page(self, page_no: int, *, charge_io: bool = True) -> Page:
         """Read one page (through the buffer pool) and return it."""
         page = self._page(page_no)
+        self.logical_page_reads += 1
         if charge_io:
             self.buffer_pool.access(self.name, page_no)
         return page
@@ -129,6 +136,7 @@ class HeapFile:
     def scan(self, *, charge_io: bool = True) -> Iterator[tuple[RID, dict[str, Any]]]:
         """Full sequential scan in physical order."""
         for page in self.pages:
+            self.logical_page_reads += 1
             if charge_io:
                 self.buffer_pool.access(self.name, page.page_no)
             for slot, row in page.live_rows():
@@ -144,6 +152,7 @@ class HeapFile:
         """
         for page_no in page_numbers:
             page = self._page(page_no)
+            self.logical_page_reads += 1
             if charge_io:
                 self.buffer_pool.access(self.name, page_no)
             for slot, row in page.live_rows():
@@ -152,6 +161,7 @@ class HeapFile:
     def all_rows(self) -> Iterator[dict[str, Any]]:
         """Iterate every live row without any I/O accounting (internal use)."""
         for page in self.pages:
+            self.logical_page_reads += 1
             for _slot, row in page.live_rows():
                 yield row
 

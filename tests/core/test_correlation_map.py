@@ -105,6 +105,66 @@ class TestMaintenance:
         assert cm.total_rows_represented == 0
 
 
+class TestMaintenanceEdgeCases:
+    """Algorithm 1 corner cases: unrepresented deletes, cross-bucket moves,
+    and count-reaches-zero eviction of targets and keys."""
+
+    def test_delete_of_unrepresented_row_leaves_map_untouched(self):
+        cm, _rows = city_cm()
+        keys_before = sorted(cm.keys())
+        entries_before = cm.total_entries
+        rows_before = cm.total_rows_represented
+        # Unknown key, and known key with an unrepresented target.
+        assert not cm.delete({"city": "Lyon", "state": "FR"})
+        assert not cm.delete({"city": "Boston", "state": "TX"})
+        assert sorted(cm.keys()) == keys_before
+        assert cm.total_entries == entries_before
+        assert cm.total_rows_represented == rows_before
+        assert cm.co_occurrence_count(("Boston",), "MA") == 2
+
+    def test_count_reaches_zero_evicts_target_but_not_key(self):
+        cm, _rows = city_cm()
+        # Boston -> {MA: 2, NH: 1}; dropping NH evicts the target only.
+        assert cm.delete({"city": "Boston", "state": "NH"})
+        assert cm.lookup({"city": "Boston"}) == ["MA"]
+        assert ("Boston",) in cm.keys()
+        assert cm.co_occurrence_count(("Boston",), "NH") == 0
+
+    def test_count_reaches_zero_evicts_key_when_last_target_goes(self):
+        cm, _rows = city_cm()
+        assert cm.delete({"city": "Jackson", "state": "MS"})
+        assert ("Jackson",) not in cm.keys()
+        # A later insert resurrects the key cleanly.
+        cm.insert({"city": "Jackson", "state": "TN"})
+        assert cm.lookup({"city": "Jackson"}) == ["TN"]
+        assert cm.co_occurrence_count(("Jackson",), "TN") == 1
+
+    def test_update_moving_row_across_clustered_bucket_boundary(self):
+        """An update that changes the clustered target (Section 5.1): the old
+        bucket's count decrements (evicting at zero) and the new bucket's
+        increments -- exactly a delete followed by an insert."""
+        rows = [
+            {"price": 10.0, "bucket": 0},
+            {"price": 10.0, "bucket": 0},
+            {"price": 20.0, "bucket": 1},
+        ]
+        cm = CorrelationMap(
+            "cm",
+            CompositeKeySpec.build(["price"]),
+            "bucket",
+            target_of=lambda row: row["bucket"],
+        ).build(rows)
+        assert cm.lookup({"price": 10.0}) == [0]
+        # Move one price=10 row from bucket 0 to bucket 2.
+        cm.update({"price": 10.0, "bucket": 0}, {"price": 10.0, "bucket": 2})
+        assert cm.lookup({"price": 10.0}) == [0, 2]
+        assert cm.co_occurrence_count((10.0,), 0) == 1
+        # Move the second one too: bucket 0 is evicted from the key.
+        cm.update({"price": 10.0, "bucket": 0}, {"price": 10.0, "bucket": 2})
+        assert cm.lookup({"price": 10.0}) == [2]
+        assert cm.co_occurrence_count((10.0,), 2) == 2
+
+
 class TestBucketedCM:
     def test_bucketing_both_sides_section54_example(self):
         """The temperature/humidity example of Section 5.4."""

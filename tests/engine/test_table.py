@@ -149,6 +149,38 @@ def test_delete_row_maintains_all_structures(database):
     assert table.delete_row(rid) is None  # already gone
 
 
+def test_row_moving_across_bucket_boundary_updates_cm(database):
+    """Delete + re-insert (the engine's update) moves a row's CM target from
+    its old clustered bucket to the tail bucket; a lone key is evicted."""
+    table = database.table("items")
+    cm = table.create_correlation_map(["itemid"])
+    rid, row = next(iter(table.heap.scan(charge_io=False)))
+    old_bucket = row[BUCKET_COLUMN]
+    assert cm.lookup({"itemid": row["itemid"]}) == [old_bucket]
+    moved = dict(table.delete_row(rid))
+    # itemid is unique, so dropping its only co-occurrence evicts the key.
+    assert cm.lookup({"itemid": moved["itemid"]}) == []
+    table.insert_row({k: v for k, v in moved.items() if k != BUCKET_COLUMN})
+    assert cm.lookup({"itemid": moved["itemid"]}) == [TAIL_BUCKET]
+
+
+def test_statistics_follow_inserts_and_deletes(database):
+    table = database.table("items")
+    stats = table.statistics
+    assert stats.total_rows == table.num_rows
+    assert stats.sample_is_complete
+    low, high = table.attribute_range("price")
+    assert low <= high
+    rid = table.insert_row(
+        {"itemid": 777_777, "catid": 5, "cat2": "group0", "price": 99_999.0, "noise": 0}
+    )
+    assert stats.total_rows == table.num_rows
+    assert table.attribute_range("price")[1] == 99_999.0
+    table.delete_row(rid)
+    assert stats.total_rows == table.num_rows
+    assert stats.sample_is_complete
+
+
 def test_reclustering_rebuilds_indexes_and_cms(database):
     table = database.table("items")
     index = table.create_secondary_index("price")

@@ -60,3 +60,53 @@ def test_deterministic_for_fixed_seed():
     a = ReservoirSampler.from_iterable(range(1000), 10, seed=42)
     b = ReservoirSampler.from_iterable(range(1000), 10, seed=42)
     assert a.sample == b.sample
+
+
+class TestDiscard:
+    def test_discard_by_identity(self):
+        rows = [{"k": i} for i in range(5)]
+        sampler = ReservoirSampler(10, seed=0)
+        sampler.extend(rows)
+        assert sampler.discard(rows[2])
+        assert sampler.items_seen == 4
+        assert len(sampler) == 4
+        assert rows[2] not in sampler.sample
+
+    def test_discard_equal_but_distinct_object(self):
+        rows = [{"k": i} for i in range(5)]
+        sampler = ReservoirSampler(10, seed=0)
+        sampler.extend(rows)
+        assert sampler.discard({"k": 3})
+        assert len(sampler) == 4
+        assert {"k": 3} not in sampler.sample
+
+    def test_discard_missing_item_still_shrinks_stream(self):
+        sampler = ReservoirSampler(4, seed=0)
+        sampler.extend(range(100))
+        seen_before = sampler.items_seen
+        assert not sampler.discard(-1)
+        assert sampler.items_seen == seen_before - 1
+        assert len(sampler) == 4
+
+    def test_discard_everything_empties_the_reservoir(self):
+        rows = [{"k": i} for i in range(20)]
+        sampler = ReservoirSampler(50, seed=0)
+        sampler.extend(rows)
+        for row in rows:
+            assert sampler.discard(row)
+        assert len(sampler) == 0
+        assert sampler.items_seen == 0
+
+    def test_discard_keeps_identity_index_consistent_under_replacement(self):
+        """Adds past capacity replace slots; discards after that must still
+        remove exactly the requested (identical) objects."""
+        rows = [{"k": i} for i in range(200)]
+        sampler = ReservoirSampler(16, seed=9)
+        sampler.extend(rows)
+        stored = sampler.sample
+        for row in stored[:8]:
+            assert sampler.discard(row)
+        remaining = sampler.sample
+        assert len(remaining) == 8
+        for row in stored[:8]:
+            assert all(r is not row for r in remaining)
