@@ -44,6 +44,9 @@ def plan_everything(db):
         db.planner.candidate_plans(table, query)
         db.planner.choose(table, query)
         db.planner.choose(table, query, force="seq_scan")
+        # LIMIT-aware selection estimates result sizes from the sample, so
+        # it must stay off the heap too.
+        db.planner.choose(table, query, limit=5)
     db.planner.choose(
         table, Query.select("items", Between("price", 1000, 1100)),
         force="pipelined_index_scan",

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Docs gate: intra-repo markdown links must resolve, doctests must pass.
+
+Run from the repository root (CI's docs job and ``tests/test_docs.py`` both
+do)::
+
+    python scripts/check_docs.py
+
+Two checks, no dependencies beyond the standard library:
+
+* every relative link in every tracked ``*.md`` file must point at an
+  existing file or directory (external ``http(s)``/``mailto`` links and
+  pure ``#anchor`` fragments are skipped);
+* ``doctest`` runs over every module in the ``repro`` package, so the
+  worked examples in docstrings (``Query.join``, ``CorrelationMap``)
+  keep executing as written.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import pkgutil
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SKIP_DIRS = {".git", ".venv", "node_modules", "__pycache__", ".pytest_cache"}
+
+#: ``[text](target)`` markdown links; images share the syntax via ``![``.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def iter_markdown_files() -> list[Path]:
+    files = []
+    for path in sorted(REPO_ROOT.rglob("*.md")):
+        if not SKIP_DIRS.intersection(part for part in path.parts):
+            files.append(path)
+    return files
+
+
+def check_markdown_links() -> list[str]:
+    """Return one error string per broken relative link."""
+    errors = []
+    for md_file in iter_markdown_files():
+        for line_no, line in enumerate(md_file.read_text().splitlines(), start=1):
+            for target in _LINK.findall(line):
+                if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, ...
+                    continue
+                if target.startswith("#"):
+                    continue
+                relative = target.split("#", 1)[0]
+                if not relative:
+                    continue
+                resolved = (md_file.parent / relative).resolve()
+                if not resolved.exists():
+                    rel_md = md_file.relative_to(REPO_ROOT)
+                    errors.append(f"{rel_md}:{line_no}: broken link -> {target}")
+    return errors
+
+
+def run_doctests() -> tuple[int, int]:
+    """Doctest every module under ``repro``; returns (failures, tests run)."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    package = importlib.import_module("repro")
+    failures = attempted = 0
+    for info in pkgutil.walk_packages(package.__path__, prefix="repro."):
+        module = importlib.import_module(info.name)
+        result = doctest.testmod(module, verbose=False)
+        failures += result.failed
+        attempted += result.attempted
+    return failures, attempted
+
+
+def main() -> int:
+    link_errors = check_markdown_links()
+    for error in link_errors:
+        print(error)
+    doc_failures, doc_attempted = run_doctests()
+    print(
+        f"checked {len(iter_markdown_files())} markdown files "
+        f"({len(link_errors)} broken links), "
+        f"ran {doc_attempted} doctests ({doc_failures} failures)"
+    )
+    if doc_attempted == 0:
+        print("error: no doctests discovered (expected worked examples in docstrings)")
+        return 1
+    return 1 if (link_errors or doc_failures) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

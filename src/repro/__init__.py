@@ -44,7 +44,7 @@ from repro.core.cost import (
 from repro.core.model import CorrelationProfile, HardwareParameters, TableProfile
 from repro.engine.database import Database
 from repro.engine.predicates import Between, Equals, InSet, PredicateSet
-from repro.engine.query import Aggregate, Query, QueryResult
+from repro.engine.query import Aggregate, JoinSpec, Query, QueryResult
 
 __version__ = "0.1.0"
 
@@ -52,6 +52,7 @@ __all__ = [
     "Database",
     "Query",
     "QueryResult",
+    "JoinSpec",
     "Aggregate",
     "Equals",
     "InSet",

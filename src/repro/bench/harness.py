@@ -20,7 +20,7 @@ from typing import Any
 from repro.core.bucketing import WidthBucketer
 from repro.datasets.ebay import EbayConfig, generate_items
 from repro.datasets.sdss import SDSSConfig, generate_photoobj
-from repro.datasets.tpch import TPCHConfig, generate_lineitem
+from repro.datasets.tpch import TPCHConfig, generate_lineitem, generate_orders
 from repro.engine.database import Database
 from repro.storage.disk import DiskParameters
 
@@ -177,6 +177,55 @@ def build_tpch_database(
     db.load("lineitem", rows)
     db.cluster("lineitem", cluster_on, pages_per_bucket=pages_per_bucket)
     return db, rows
+
+
+def build_tpch_join_database(
+    scale: ExperimentScale | None = None,
+    *,
+    num_orders: int = 8_000,
+    buffer_pool_pages: int = 1_500,
+    tups_per_page: int = 60,
+    orderdate_span_days: int = 365,
+    cluster_orders_on: str = "orderkey",
+    orders_pages_per_bucket: int | None = 10,
+    seek_scale: float = TPCH_SEEK_SCALE,
+    seed: int = 7,
+    stats_sample_size: int | None = None,
+) -> tuple[Database, list[dict[str, Any]], list[dict[str, Any]]]:
+    """lineitem + orders, set up for the lineitem-orders join workload.
+
+    ``lineitem`` is clustered on ``receiptdate`` (the correlated clustering
+    the single-table experiments use) with a CM on the correlated predicate
+    attribute ``shipdate``.  ``orders`` is clustered on ``cluster_orders_on``:
+
+    * ``"orderkey"`` (default) -- join probes ride the clustered index;
+    * ``"orderdate"`` -- the clustered key is the *date*; a CM on
+      ``orderkey`` (correlated with ``orderdate`` by arrival order) gives
+      the planner a CM-guided inner path instead.
+
+    Returns ``(db, lineitem_rows, orders_rows)``.
+    """
+    scale = scale or ExperimentScale.from_environment()
+    config = TPCHConfig(
+        num_orders=scale.rows(num_orders),
+        num_parts=max(200, scale.rows(num_orders) // 5),
+        num_suppliers=max(40, scale.rows(num_orders) // 100),
+        orderdate_span_days=orderdate_span_days,
+        seed=seed,
+    )
+    lineitem_rows = generate_lineitem(config)
+    orders_rows = generate_orders(config)
+    db = _make_database(buffer_pool_pages, seek_scale, stats_sample_size)
+    db.create_table("lineitem", sample_row=lineitem_rows[0], tups_per_page=tups_per_page)
+    db.load("lineitem", lineitem_rows)
+    db.cluster("lineitem", "receiptdate", pages_per_bucket=10)
+    db.create_correlation_map("lineitem", ["shipdate"], name="cm_shipdate")
+    db.create_table("orders", sample_row=orders_rows[0], tups_per_page=tups_per_page)
+    db.load("orders", orders_rows)
+    db.cluster("orders", cluster_orders_on, pages_per_bucket=orders_pages_per_bucket)
+    if cluster_orders_on == "orderdate":
+        db.create_correlation_map("orders", ["orderkey"], name="cm_orderkey")
+    return db, lineitem_rows, orders_rows
 
 
 # ---------------------------------------------------------------------------

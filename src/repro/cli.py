@@ -51,7 +51,7 @@ _DATASETS = {
 }
 
 
-def _run_demo(limit: int | None = None) -> int:
+def _run_demo(limit: int | None = None, join: bool = False) -> int:
     """Inline quickstart (the installable twin of ``examples/quickstart.py``)."""
     import random
 
@@ -87,6 +87,27 @@ def _run_demo(limit: int | None = None) -> int:
                 f"{result.elapsed_ms:8.2f} ms simulated, "
                 f"{result.pages_visited}/{total_pages} pages swept"
             )
+    if join:
+        categories = [
+            {"catid": cat, "label": f"cat-{cat}", "floor": cat * 500.0}
+            for cat in range(200)
+        ]
+        db.create_table("categories", sample_row=categories[0], tups_per_page=50)
+        db.load("categories", categories)
+        db.cluster("categories", "catid")
+        joined = Query.select("items", Between("price", 10_000, 10_800)).join(
+            "categories", on="catid"
+        )
+        print(f"\njoin: {joined.describe()}")
+        for force_join in ("nested_loop_join", "index_nested_loop_join"):
+            result = db.run_query(joined, force_join=force_join, cold_cache=True)
+            print(
+                f"  {force_join:<23} rows={result.rows_matched:<5} "
+                f"{result.elapsed_ms:8.2f} ms simulated, "
+                f"{result.pages_visited} pages"
+            )
+        best = db.explain(joined)[0]
+        print(f"  planner picks: {best['structure']}")
     return 0
 
 
@@ -171,7 +192,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also run a LIMIT query through the streaming executor",
     )
-    demo.set_defaults(func=lambda args: _run_demo(limit=args.limit))
+    demo.add_argument(
+        "--join",
+        action="store_true",
+        help="also run a two-table join (nested-loop vs index-nested-loop)",
+    )
+    demo.set_defaults(func=lambda args: _run_demo(limit=args.limit, join=args.join))
     sub.add_parser("datasets", help="describe the bundled data sets").set_defaults(
         func=_cmd_datasets
     )

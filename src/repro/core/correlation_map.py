@@ -11,7 +11,29 @@ B+Tree, small enough to remain cached in memory even while heavily updated.
 Lookups return the co-occurring clustered targets for a set of predicated
 values (``cm_lookup`` in Section 5.2); the executor then scans the clustered
 index for those targets and re-applies the original predicate to discard
-false positives.
+false positives.  The same lookup serves two engine roles: single-table
+``CorrelationMapScan`` plans, and the CM-guided inner path of an
+index-nested-loop join, where each outer row's join-key value is looked up
+to find the clustered buckets worth sweeping.
+
+A CM is a plain in-memory structure that can also be used standalone::
+
+    >>> from repro.core.composite import CompositeKeySpec
+    >>> from repro.core.correlation_map import CorrelationMap
+    >>> cm = CorrelationMap("cm_city", CompositeKeySpec.build(["city"]), "state")
+    >>> _ = cm.build([
+    ...     {"city": "boston", "state": "MA"},
+    ...     {"city": "salem", "state": "MA"},
+    ...     {"city": "salem", "state": "OR"},
+    ... ])
+    >>> cm.lookup({"city": "salem"})
+    ['MA', 'OR']
+    >>> cm.measured_c_per_u()   # avg clustered targets per stored key
+    1.5
+    >>> cm.delete({"city": "salem", "state": "OR"})   # Algorithm 1
+    True
+    >>> cm.lookup({"city": "salem"})
+    ['MA']
 """
 
 from __future__ import annotations

@@ -17,6 +17,17 @@ three access methods the paper considers:
 * a correlation-map lookup (:func:`cm_lookup_cost`), which is the sorted-scan
   formula evaluated with the CM's bucket-level statistics plus the cost of
   reading the (small, usually memory-resident) CM itself.
+
+Two extensions grow the model beyond single-table selections:
+
+* :class:`CostSplit` decomposes each formula into an upfront part (index
+  descents paid before the first row) and a streaming part (the page sweep a
+  LIMIT terminates early), which is what makes plan selection LIMIT-aware
+  (:func:`limited_cost`);
+* :func:`nested_loop_join_cost` / :func:`index_nested_loop_join_cost` price
+  pipelined joins as ``cost_outer + outer_rows * cost_per_inner_visit``,
+  with the per-visit term taken from whichever single-lookup formula matches
+  the inner access structure.
 """
 
 from __future__ import annotations
@@ -146,3 +157,130 @@ def speedup_over_scan(
     if lookup_cost <= 0:
         return float("inf")
     return scan_cost(profile, hw) / lookup_cost
+
+
+# ---------------------------------------------------------------------------
+# LIMIT-aware costing
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CostSplit:
+    """One access path's cost decomposed for LIMIT-aware selection.
+
+    ``upfront_ms`` is paid before the first row can be emitted (index probes,
+    clustered-index descents, a non-resident CM read); ``streaming_ms`` is
+    the page sweep that produces rows, which a satisfied LIMIT terminates
+    early.  The split is what makes LIMIT-aware costing meaningful: every
+    candidate produces the *same* matching rows, so a plan-independent
+    fraction scales only the streaming part, and a plan with a heavy upfront
+    component (many B+Tree descents) loses to a plain scan when the caller
+    only wants a handful of rows.
+    """
+
+    upfront_ms: float
+    streaming_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return self.upfront_ms + self.streaming_ms
+
+
+def limited_cost(split: CostSplit, est_result_rows: float, limit: int | None) -> float:
+    """Expected cost of producing ``min(limit, est_result_rows)`` rows.
+
+    Matching rows are assumed uniformly spread over the pages the streaming
+    part sweeps, so a LIMIT of ``k`` out of an estimated ``m`` result rows
+    sweeps a ``k/m`` fraction of them.  With no limit, or when fewer rows
+    match than the limit asks for, the full split cost is returned.  An
+    estimate of zero matching rows also returns the full cost: a LIMIT that
+    can never be satisfied terminates nothing.
+    """
+    if limit is None or est_result_rows < 1.0:
+        return split.total_ms
+    fraction = min(1.0, limit / est_result_rows)
+    return split.upfront_ms + split.streaming_ms * fraction
+
+
+def sorted_lookup_cost_split(
+    n_lookups: int,
+    correlation: CorrelationProfile,
+    profile: TableProfile,
+    hw: HardwareParameters,
+) -> CostSplit:
+    """:func:`sorted_lookup_cost` decomposed into upfront descents + sweep.
+
+    The descents (``n * c_per_u`` clustered-index walks) are the upfront
+    part; the sequential reads of the matching heap pages are the streaming
+    part, clamped by the full-scan cost exactly as the combined formula is
+    (the access pattern degenerating into a scan is a property of the sweep,
+    not of the descents).
+    """
+    if n_lookups < 0:
+        raise ValueError("n_lookups must be non-negative")
+    c_pages = correlation.c_pages(profile.tups_per_page)
+    visits = n_lookups * correlation.c_per_u
+    return CostSplit(
+        upfront_ms=visits * hw.seek_cost_ms * profile.btree_height,
+        streaming_ms=min(
+            visits * hw.seq_page_cost_ms * c_pages, scan_cost(profile, hw)
+        ),
+    )
+
+
+def cm_lookup_cost_split(
+    n_lookups: int,
+    inputs: CMCostInputs,
+    profile: TableProfile,
+    hw: HardwareParameters,
+) -> CostSplit:
+    """:func:`cm_lookup_cost` decomposed into upfront descents + sweep."""
+    if n_lookups < 0:
+        raise ValueError("n_lookups must be non-negative")
+    visits = n_lookups * inputs.buckets_per_lookup
+    upfront = visits * hw.seek_cost_ms * profile.btree_height
+    if not inputs.cm_resident:
+        upfront += hw.seek_cost_ms + hw.seq_page_cost_ms * inputs.cm_pages
+    return CostSplit(
+        upfront_ms=upfront,
+        streaming_ms=min(
+            visits * hw.seq_page_cost_ms * inputs.pages_per_bucket,
+            scan_cost(profile, hw),
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Join costing (pipelined nested loops)
+# ---------------------------------------------------------------------------
+
+def nested_loop_join_cost(
+    outer_cost_ms: float, est_outer_rows: float, inner_profile: TableProfile,
+    hw: HardwareParameters,
+) -> float:
+    """Cost of a naive nested-loop join: one full inner scan per outer row::
+
+        cost = cost_outer + outer_rows * cost_scan(inner)
+
+    The buffer pool will usually keep a small inner table resident across
+    rescans, so this over-estimates warm-cache runs; the planner only needs
+    the estimate to be monotone in the rescan count, which it is.
+    """
+    return outer_cost_ms + max(0.0, est_outer_rows) * scan_cost(inner_profile, hw)
+
+
+def index_nested_loop_join_cost(
+    outer_cost_ms: float, est_outer_rows: float, per_probe_cost_ms: float
+) -> float:
+    """Cost of an index-nested-loop join: one inner probe per outer row::
+
+        cost = cost_outer + outer_rows * cost_probe(inner)
+
+    ``per_probe_cost_ms`` is the single-lookup (``n_lookups = 1``) cost of
+    whichever inner structure the probe uses: :func:`sorted_lookup_cost` for
+    a clustered or secondary B+Tree, :func:`cm_lookup_cost` for a
+    correlation map.  The CM term is where the paper's trick pays off across
+    tables: a join key correlated with the inner clustered key gives a small
+    ``buckets_per_lookup``, so each probe sweeps a couple of contiguous
+    buckets instead of descending a fat secondary B+Tree.
+    """
+    return outer_cost_ms + max(0.0, est_outer_rows) * per_probe_cost_ms

@@ -18,7 +18,7 @@ either exactly (one pass over the rows) or from estimators:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.core.bucketing import IdentityBucketer
 from repro.core.composite import CompositeKeySpec
@@ -212,6 +212,7 @@ class IncrementalTableStatistics:
         self._untracked: set[str] = set()
         self._profile_cache: dict[tuple, CorrelationProfile] = {}
         self._cardinality_cache: dict[tuple, int] = {}
+        self._selectivity_cache: dict[Any, float] = {}
 
     # -- maintenance ------------------------------------------------------------
 
@@ -259,6 +260,7 @@ class IncrementalTableStatistics:
     def _invalidate(self) -> None:
         self._profile_cache.clear()
         self._cardinality_cache.clear()
+        self._selectivity_cache.clear()
 
     # -- views ------------------------------------------------------------------
 
@@ -278,6 +280,39 @@ class IncrementalTableStatistics:
     def attribute_range(self, attribute: str) -> tuple[Any, Any] | None:
         """Incrementally-maintained ``(min, max)``; ``None`` when unknown."""
         return self._minmax.get(attribute)
+
+    def match_fraction(
+        self,
+        matches: "Callable[[Mapping[str, Any]], bool]",
+        *,
+        key: Any = None,
+    ) -> float:
+        """Fraction of live rows satisfying ``matches``, from the sample.
+
+        The reservoir is a uniform sample of the live rows, so the sample
+        match rate is an unbiased selectivity estimate (exact while the
+        sample is complete).  ``matches`` is a plain callable -- typically
+        ``PredicateSet.matches`` -- so this layer stays independent of the
+        engine's predicate types.  An empty table estimates 0.0.
+
+        ``key``, when hashable, memoises the result until the next insert or
+        delete, like the sibling cardinality/profile caches -- replanning an
+        unchanged query then skips the sample sweep entirely.
+        """
+        if key is not None:
+            try:
+                return self._selectivity_cache[key]
+            except KeyError:
+                pass
+            except TypeError:
+                key = None
+        rows = self._reservoir.sample
+        fraction = (
+            sum(1 for row in rows if matches(row)) / len(rows) if rows else 0.0
+        )
+        if key is not None:
+            self._selectivity_cache[key] = fraction
+        return fraction
 
     # -- derived statistics ------------------------------------------------------
 
@@ -334,6 +369,22 @@ class IncrementalTableStatistics:
         if any(not isinstance(part.bucketer, IdentityBucketer) for part in spec.parts):
             return None
         return tuple(spec.attributes)
+
+
+def join_fanout(
+    inner_rows: float, outer_key_cardinality: float, inner_key_cardinality: float
+) -> float:
+    """Expected inner matches per outer row for an equi-join.
+
+    The textbook containment-of-values estimate: the join produces
+    ``T(R) * T(S) / max(V(R, a), V(S, b))`` rows, so each outer (``R``) row
+    matches ``T(S) / max(V(R, a), V(S, b))`` inner rows.  Both cardinalities
+    come from the tables' reservoir samples, so join planning -- like
+    single-table planning -- never scans a heap.  A foreign-key join onto a
+    key column gives the familiar special case of one match per outer row.
+    """
+    distinct = max(outer_key_cardinality, inner_key_cardinality, 1.0)
+    return max(0.0, inner_rows) / distinct
 
 
 def exact_c_per_u(

@@ -1,4 +1,4 @@
-"""The TPC-H ``lineitem`` table (Section 7.1.1).
+"""The TPC-H ``lineitem`` and ``orders`` tables (Section 7.1.1).
 
 The paper uses ``lineitem`` at scale factor 3 (~18 M rows, 2.5 GB) and relies
 on two of its built-in correlations (Figure 1):
@@ -14,6 +14,11 @@ on two of its built-in correlations (Figure 1):
 
 Dates are represented as integer day numbers (days since 1992-01-01) so that
 they bucket and compare like the ``date`` columns they stand in for.
+
+:func:`iter_orders` generates the matching ``orders`` table for the
+lineitem-orders join workload; see its docstring for the (deliberate)
+deviations from stock TPC-H that give the join a CM-exploitable
+``orderkey``/``orderdate`` correlation.
 """
 
 from __future__ import annotations
@@ -131,4 +136,62 @@ def expected_schema_columns() -> list[str]:
         "orderkey", "linenumber", "partkey", "suppkey", "quantity",
         "extendedprice", "discount", "tax", "returnflag", "linestatus",
         "shipdate", "commitdate", "receiptdate", "shipinstruct", "shipmode",
+    ]
+
+
+# ---------------------------------------------------------------------------
+# The ORDERS side of the lineitem-orders join workload
+# ---------------------------------------------------------------------------
+
+_ORDER_PRIORITIES = ("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW")
+
+
+def generate_orders(config: TPCHConfig | None = None) -> list[dict[str, Any]]:
+    """Generate orders rows (materialised in memory)."""
+    return list(iter_orders(config))
+
+
+def iter_orders(config: TPCHConfig | None = None) -> Iterator[dict[str, Any]]:
+    """Stream orders rows, one per ``orderkey`` that lineitem references.
+
+    The generator models a time-ordered order log: order keys are assigned
+    monotonically as orders arrive, so ``orderkey`` is strongly correlated
+    with ``orderdate`` (a small jitter keeps the correlation soft rather
+    than functional).  That cross-table correlation is what a correlation
+    map on ``orders.orderkey`` exploits when the table is clustered by
+    ``orderdate``: each join probe resolves to a couple of adjacent date
+    buckets instead of a B+Tree descent.
+
+    The only invariant shared with :func:`iter_lineitem` is the key space:
+    both tables cover orderkeys ``1 .. num_orders``, so a lineitem-orders
+    equi-join on ``orderkey`` is lossless.  The lineitem generator's internal
+    date columns are drawn independently (its RNG stream predates this table
+    and is kept bit-stable for the benchmarks), so ``shipdate`` is *not*
+    guaranteed to trail this table's ``orderdate`` row by row.
+    """
+    config = config or TPCHConfig()
+    rng = random.Random(config.seed + 0x0D0E)
+    span = config.orderdate_span_days
+    jitter = max(1, span // 40)
+    customers = max(10, config.num_orders // 10)
+    for orderkey in range(1, config.num_orders + 1):
+        arrival = (orderkey - 1) * span // config.num_orders
+        orderdate = min(span - 1, arrival + rng.randint(0, jitter))
+        yield {
+            "orderkey": orderkey,
+            "custkey": rng.randint(1, customers),
+            "orderstatus": rng.choice(("O", "F", "P")),
+            "totalprice": round(rng.uniform(900.0, 550_000.0), 2),
+            "orderdate": orderdate,
+            "orderpriority": rng.choice(_ORDER_PRIORITIES),
+            "clerk": f"Clerk#{rng.randint(1, max(2, config.num_orders // 1000)):09d}",
+            "shippriority": 0,
+        }
+
+
+def expected_orders_columns() -> list[str]:
+    """The orders columns generated here, in order."""
+    return [
+        "orderkey", "custkey", "orderstatus", "totalprice",
+        "orderdate", "orderpriority", "clerk", "shippriority",
     ]

@@ -9,7 +9,7 @@ paths with the correlation-aware cost model.
 
 from repro.engine.schema import TableSchema
 from repro.engine.predicates import Between, Equals, InSet, PredicateSet
-from repro.engine.query import Aggregate, Query, QueryResult
+from repro.engine.query import Aggregate, JoinSpec, Query, QueryResult
 from repro.engine.database import Database
 from repro.engine.table import Table
 
@@ -20,6 +20,7 @@ __all__ = [
     "Between",
     "PredicateSet",
     "Aggregate",
+    "JoinSpec",
     "Query",
     "QueryResult",
     "Database",

@@ -26,16 +26,22 @@ shared scan kernel (page sweep + residual filter + counter charging) and an
 :class:`~repro.engine.executor.ExecutionContext` that carries counters, the
 LIMIT budget and the projection.  :meth:`AccessPath.execute` is a thin
 materialising wrapper kept for callers that want every row at once.
+
+Join operators reuse the same paths for their inner side:
+:class:`InnerPathBuilder` binds one outer row's join-key values into
+``Equals`` predicates and instantiates a fresh access path per probe, so an
+index-nested-loop join is nothing more than a stream of tiny single-table
+queries against the inner table.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.core.correlation_map import CorrelationMap
 from repro.core.rewriter import QueryRewriter
-from repro.engine.executor import ExecutionContext
+from repro.engine.executor import ExecutionContext, materialize
 from repro.engine.predicates import Between, Equals, InSet, Predicate, PredicateSet
 from repro.engine.table import BUCKET_COLUMN, Table
 from repro.index.bitmap import PageBitmap
@@ -77,16 +83,7 @@ class AccessPath:
 
     def execute(self, context: ExecutionContext | None = None) -> AccessResult:
         """Materialise the stream into an :class:`AccessResult` (compatibility)."""
-        context = context or ExecutionContext()
-        rows = list(self.iter_rows(context))
-        counters = context.counters
-        return AccessResult(
-            rows=rows,
-            rows_examined=counters.rows_examined,
-            pages_visited=counters.pages_visited,
-            lookups=counters.lookups,
-            rewritten_sql=context.rewritten_sql,
-        )
+        return materialize(self, context)
 
     # -- the shared scan kernel -------------------------------------------------
 
@@ -148,7 +145,9 @@ def _lookup_values_for_index(
     Experiment 5 highlights for B+Tree(ra, dec).
     """
     attrs = index.attributes
-    predicates_by_attr = {p.attribute: p for p in predicates.indexable_predicates()}
+    # Most selective predicate per attribute: an inner-probe equality beats a
+    # local range filter on the same column.
+    predicates_by_attr = predicates.best_by_attribute()
     if all(
         isinstance(predicates_by_attr.get(attr), (Equals, InSet)) for attr in attrs
     ):
@@ -281,7 +280,8 @@ class CorrelationMapScan(AccessPath):
         rewriter = QueryRewriter(self.cm, clustered_column=clustered_column)
         constraints = self.predicates.constraints()
         rewritten = rewriter.rewrite(constraints)
-        context.rewritten_sql = rewritten.to_sql(self.table.name)
+        if context.report_rewritten_sql:
+            context.rewritten_sql = rewritten.to_sql(self.table.name)
         context.counters.lookups += len(rewritten.clustered_values)
         if rewritten.is_empty:
             return
@@ -292,3 +292,91 @@ class CorrelationMapScan(AccessPath):
         if self.table.clustered_index is not None:
             self.table.clustered_index.charge_descents(PageBitmap(pages).num_runs)
         yield from self._sweep_pages(pages, context)
+
+
+#: Inner-path strategies a join planner may select (builder ``strategy=``).
+INNER_STRATEGIES = (
+    "seq_scan",
+    "clustered_index_scan",
+    "sorted_index_scan",
+    "cm_scan",
+)
+
+
+class InnerPathBuilder:
+    """Builds, per outer row, a fresh inner access path with join keys bound.
+
+    A join operator calls :meth:`bind` once per outer row; the builder turns
+    the outer row's join-key values into ``Equals`` predicates, appends them
+    to the joined table's local predicates, and instantiates the access path
+    the planner selected:
+
+    * ``seq_scan`` -- a full inner sweep per probe (nested-loop join); the
+      bound equalities act purely as residual filters;
+    * ``clustered_index_scan`` -- the inner table is clustered on the join
+      key, so each probe is a clustered-index range lookup;
+    * ``sorted_index_scan`` -- probe a secondary B+Tree on the join key and
+      sweep the matching pages in order;
+    * ``cm_scan`` -- look the join value up in a correlation map and sweep
+      the co-occurring clustered buckets (the CM-guided inner path; cheap
+      when the join key correlates with the inner clustered key).
+
+    Because the bound equalities are ordinary predicates, every strategy
+    verifies the join condition itself -- false positives from a CM's bucket
+    granularity are dropped by the shared residual filter, exactly as in the
+    single-table case.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        join_on: Sequence[tuple[str, str]],
+        predicates: PredicateSet,
+        strategy: str,
+        *,
+        index: SecondaryIndex | None = None,
+        cm: CorrelationMap | None = None,
+    ) -> None:
+        if strategy not in INNER_STRATEGIES:
+            raise ValueError(f"unknown inner strategy {strategy!r}")
+        if strategy == "sorted_index_scan" and index is None:
+            raise ValueError("sorted_index_scan inner paths need an index")
+        if strategy == "cm_scan" and cm is None:
+            raise ValueError("cm_scan inner paths need a correlation map")
+        self.table = table
+        self.join_on = tuple(join_on)
+        self.predicates = predicates
+        self.strategy = strategy
+        self.index = index
+        self.cm = cm
+
+    def bind(self, outer_row: Mapping[str, Any]) -> AccessPath:
+        """The inner access path for one outer row's join-key values."""
+        bound = tuple(
+            Equals(inner_column, outer_row[outer_column])
+            for outer_column, inner_column in self.join_on
+        )
+        predicates = PredicateSet(tuple(self.predicates) + bound)
+        if self.strategy == "clustered_index_scan":
+            return ClusteredIndexScan(self.table, predicates)
+        if self.strategy == "sorted_index_scan":
+            assert self.index is not None
+            return SortedIndexScan(self.table, self.index, predicates)
+        if self.strategy == "cm_scan":
+            assert self.cm is not None
+            return CorrelationMapScan(self.table, self.cm, predicates)
+        return SeqScan(self.table, predicates)
+
+    def describe(self) -> str:
+        keys = ", ".join(inner for _outer, inner in self.join_on)
+        if self.strategy == "clustered_index_scan":
+            via = f"clustered({self.table.clustered_attribute})"
+        elif self.strategy == "sorted_index_scan":
+            assert self.index is not None
+            via = self.index.name
+        elif self.strategy == "cm_scan":
+            assert self.cm is not None
+            via = self.cm.name
+        else:
+            via = "seq"
+        return f"{self.table.name}({keys}) via {via}"

@@ -157,6 +157,7 @@ class Database:
         query: Query,
         *,
         force: str | None = None,
+        force_join: str | None = None,
         cold_cache: bool = False,
         limit: int | None = None,
         projection: Sequence[str] | None = None,
@@ -164,28 +165,30 @@ class Database:
         """Plan and execute a query, returning rows/value plus I/O statistics.
 
         ``force`` pins the access method (one of the names in
-        :data:`repro.engine.planner.FORCE_METHODS`); ``cold_cache=True``
-        empties the buffer pool first, matching the paper's methodology of
-        dropping caches between measured runs.  ``limit``/``projection``
-        override the query's own values; a satisfied LIMIT terminates the
-        page sweep early, so the remaining heap pages are never read.
+        :data:`repro.engine.planner.FORCE_METHODS`); for a join query it pins
+        the driving table's access path, and ``force_join`` pins the join
+        strategy (:data:`repro.engine.planner.FORCE_JOIN_METHODS`).
+        ``cold_cache=True`` empties the buffer pool first, matching the
+        paper's methodology of dropping caches between measured runs.
+        ``limit``/``projection`` override the query's own values; a satisfied
+        LIMIT terminates the page sweep (and, under a join, the outer loop)
+        early, so the remaining heap pages are never read.
 
-        Note that plan *selection* is limit-agnostic: candidates are costed
-        as if the full result were needed (a LIMIT-aware cost model is a
-        ROADMAP open item), so a very small LIMIT may run through an index
-        plan where a limit-terminated scan would have been cheaper.
+        Plan *selection* is LIMIT-aware: candidates are costed for producing
+        ``min(limit, estimated_result_rows)`` rows, so a very small LIMIT
+        prefers a limit-terminated scan over a plan that pays many index
+        descents up front.
         """
         if query.aggregate is not None and (limit is not None or projection is not None):
             raise ValueError(
                 "limit/projection cannot be combined with an aggregate: the "
                 "aggregate consumes the full matching row stream"
             )
-        table = self.table(query.table)
         context = ExecutionContext.for_query(query, limit=limit, projection=projection)
-        self._validate_projection(table, context.projection)
+        self._validate_query(query, context.projection)
         if cold_cache:
             self.drop_caches()
-        plan = self.planner.choose(table, query, force=force)
+        plan = self._plan(query, force=force, force_join=force_join, limit=context.limit)
         before = self.disk.snapshot()
         outcome = plan.path.execute(context)
         io = self.disk.window_since(before)
@@ -220,43 +223,79 @@ class Database:
         query: Query,
         *,
         force: str | None = None,
+        force_join: str | None = None,
         limit: int | None = None,
         projection: Sequence[str] | None = None,
     ) -> Iterator[dict[str, Any]]:
         """Plan a query and yield matching rows as they are produced.
 
-        Nothing is materialised: rows flow straight out of the access path's
-        generator pipeline, and abandoning the iterator stops the scan (pages
-        past the last consumed row are never read).  Aggregating queries are
-        rejected -- an aggregate needs the whole stream; use :meth:`run_query`.
+        Nothing is materialised: rows flow straight out of the plan's
+        generator pipeline -- for joins, merged rows are produced as the
+        outer scan and the inner probes interleave -- and abandoning the
+        iterator stops every stage (pages past the last consumed row are
+        never read).  Aggregating queries are rejected -- an aggregate needs
+        the whole stream; use :meth:`run_query`.
         """
         if query.aggregate is not None:
             raise ValueError("stream() does not support aggregating queries")
-        table = self.table(query.table)
         context = ExecutionContext.for_query(query, limit=limit, projection=projection)
-        self._validate_projection(table, context.projection)
-        plan = self.planner.choose(table, query, force=force)
+        self._validate_query(query, context.projection)
+        plan = self._plan(query, force=force, force_join=force_join, limit=context.limit)
         return plan.path.iter_rows(context)
 
-    @staticmethod
-    def _validate_projection(table: Table, projection: Sequence[str] | None) -> None:
+    def _plan(
+        self,
+        query: Query,
+        *,
+        force: str | None,
+        force_join: str | None = None,
+        limit: int | None = None,
+    ):
+        """Plan selection for one execution (join-aware, LIMIT-aware)."""
+        if query.joins:
+            return self.planner.choose_join(
+                self.tables, query, force=force, force_join=force_join, limit=limit
+            )
+        if force_join is not None:
+            raise ValueError("force_join only applies to queries with joins")
+        return self.planner.choose(self.table(query.table), query, force=force, limit=limit)
+
+    def _validate_query(self, query: Query, projection: Sequence[str] | None) -> None:
+        """Check table names and the projection against the joined schemas."""
+        chain = [self.table(name) for name in query.tables]
         for column in projection or ():
-            if not table.schema.has_column(column):
+            if not any(table.schema.has_column(column) for table in chain):
+                tables = ", ".join(table.name for table in chain)
                 raise ValueError(
-                    f"unknown column {column!r} in projection for table {table.name!r}"
+                    f"unknown column {column!r} in projection (tables: {tables})"
                 )
 
     def explain(self, query: Query) -> list[dict[str, Any]]:
-        """The planner's candidate plans and estimated costs (for inspection)."""
-        table = self.table(query.table)
-        plans = self.planner.candidate_plans(table, query)
+        """The planner's candidate plans and estimated costs (for inspection).
+
+        Join queries list one candidate per (join order, strategy shape);
+        ``structure`` spells out the left-deep pipeline, e.g.
+        ``lineitem[cm_scan:cm_shipdate] -> index_nested_loop_join[orders
+        (orderkey) via clustered(orderkey)]``.  The query's own LIMIT is
+        honoured, so the ranking matches what :meth:`run_query` selects.
+        """
+        if query.joins:
+            plans = self.planner.candidate_join_plans(
+                self.tables, query, limit=query.limit
+            )
+        else:
+            plans = self.planner.candidate_plans(
+                self.table(query.table), query, limit=query.limit
+            )
         return [
             {
                 "method": plan.method,
                 "structure": plan.structure,
                 "estimated_cost_ms": plan.estimated_cost_ms,
             }
-            for plan in sorted(plans, key=lambda p: p.estimated_cost_ms)
+            # The planner's rank, not raw cost: ties break by structure
+            # preference, so the first entry is the plan selection picks.
+            for plan in sorted(plans, key=self.planner._plan_rank)
         ]
 
     # -- DML with maintenance --------------------------------------------------------------

@@ -1,4 +1,4 @@
-"""The streaming execution layer.
+"""The streaming execution layer: contexts, counters and join operators.
 
 Access paths produce rows through generator-based ``iter_rows`` pipelines;
 an :class:`ExecutionContext` travels down the pipeline carrying the shared
@@ -8,6 +8,19 @@ single set of counters through index probes, correlation-map lookups and the
 heap sweep kernel, and lets LIMIT terminate the sweep as soon as enough rows
 have been emitted -- no access path ever materialises the table.
 
+Multi-table queries compose the same pipelines: a join operator
+(:class:`NestedLoopJoin`, :class:`IndexNestedLoopJoin`) pulls rows from an
+outer source, binds each outer row's join-key values into a fresh inner
+access path, and streams the merged rows.  The operators are themselves row
+sources, so left-deep chains nest naturally: ``(A join B) join C`` is just a
+join operator whose outer source is another join operator.  Child pipelines
+run under :meth:`ExecutionContext.child` contexts that share the parent's
+:class:`ExecutionCounters` -- physical work on every input lands in one
+place -- while the LIMIT budget and the projection stay with the root: a
+satisfied LIMIT stops the operator from pulling further outer rows, which in
+turn abandons the outer generator mid-sweep, so the remaining outer pages
+are never read.
+
 ``AccessResult`` (in :mod:`repro.engine.access`) remains as the materialised
 view of one finished execution for callers that want all rows at once.
 """
@@ -15,36 +28,51 @@ view of one finished execution for callers that want all rows at once.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Iterator, Mapping, Protocol, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.access import AccessResult
     from repro.engine.query import Query
 
 
 @dataclass
 class ExecutionCounters:
-    """Counters charged by every stage of one query execution."""
+    """Counters charged by every stage of one query execution.
+
+    One instance is shared by the whole plan: access paths charge pages and
+    rows as they sweep, join operators count the rows they merge, and the
+    root context counts the rows finally emitted to the caller.
+    """
 
     rows_examined: int = 0
     pages_visited: int = 0
     lookups: int = 0
     rows_emitted: int = 0
+    #: Inner-path probes performed by join operators (one per outer row per
+    #: join step).
+    join_probes: int = 0
 
 
 @dataclass
 class ExecutionContext:
-    """Per-execution state threaded through an access path's row pipeline.
+    """Per-execution state threaded through a plan's row pipelines.
 
     Parameters
     ----------
     limit:
         Stop after emitting this many rows (``None`` = no limit).  The scan
         kernel checks the budget between rows and between pages, so a
-        satisfied LIMIT never sweeps the remaining pages.
+        satisfied LIMIT never sweeps the remaining pages; join operators
+        additionally stop pulling outer rows.
     projection:
         Columns to keep in emitted rows (``None`` = whole row).  Projection
         happens at emission time so residual predicates still see every
         column.
+    count_output:
+        Whether :meth:`emit` counts towards ``counters.rows_emitted``.  True
+        for the root context; child contexts (see :meth:`child`) disable it
+        so that intermediate rows flowing into a join operator do not distort
+        the root's LIMIT accounting.
     """
 
     limit: int | None = None
@@ -52,6 +80,10 @@ class ExecutionContext:
     counters: ExecutionCounters = field(default_factory=ExecutionCounters)
     #: Filled in by :class:`repro.engine.access.CorrelationMapScan`.
     rewritten_sql: str | None = None
+    count_output: bool = True
+    #: False on join inner-probe contexts, whose rewritten SQL nobody reads
+    #: -- lets the CM scan skip rendering it once per probe.
+    report_rewritten_sql: bool = True
 
     def __post_init__(self) -> None:
         if self.limit is not None and self.limit < 0:
@@ -77,13 +109,173 @@ class ExecutionContext:
             projection=tuple(projection) if projection is not None else None,
         )
 
+    def child(self) -> "ExecutionContext":
+        """A context for a sub-pipeline feeding a parent operator.
+
+        The child shares the parent's :class:`ExecutionCounters`, so pages
+        and rows touched by either join input aggregate in one place, but it
+        carries no LIMIT budget (the parent decides when to stop pulling), no
+        projection (the parent needs whole rows to merge), and its emissions
+        do not count as output rows.
+        """
+        return ExecutionContext(counters=self.counters, count_output=False)
+
     @property
     def limit_reached(self) -> bool:
         return self.limit is not None and self.counters.rows_emitted >= self.limit
 
     def emit(self, row: Mapping[str, Any]) -> dict[str, Any]:
-        """Count one output row and apply the projection."""
-        self.counters.rows_emitted += 1
+        """Count one output row and apply the projection.
+
+        Root contexts copy the row: emitted rows reach callers (``stream``,
+        ``QueryResult.rows``) who may mutate them, and handing out the live
+        heap-page dict would corrupt the page, the indexes built over it and
+        the statistics sample.  Child contexts skip the copy -- their rows
+        only feed a join operator, which builds a fresh merged dict anyway.
+        """
+        if self.count_output:
+            self.counters.rows_emitted += 1
+            if self.projection is None:
+                return dict(row)
         if self.projection is None:
             return row if isinstance(row, dict) else dict(row)
         return {column: row[column] for column in self.projection}
+
+
+class RowSource(Protocol):
+    """Anything that can stream rows under an :class:`ExecutionContext`.
+
+    Access paths and join operators both satisfy this protocol, which is what
+    lets join operators nest into left-deep chains.
+    """
+
+    name: str
+
+    def iter_rows(
+        self, context: ExecutionContext | None = None
+    ) -> Iterator[dict[str, Any]]: ...  # pragma: no cover - protocol
+
+
+def materialize(source: "RowSource", context: ExecutionContext | None = None):
+    """Drain a row source into an :class:`~repro.engine.access.AccessResult`.
+
+    The one place the stream-to-materialised conversion lives: both
+    :meth:`AccessPath.execute` and :meth:`JoinOperator.execute` delegate
+    here, so a counter added to ``AccessResult`` is wired up exactly once.
+    """
+    from repro.engine.access import AccessResult
+
+    context = context or ExecutionContext()
+    rows = list(source.iter_rows(context))
+    counters = context.counters
+    return AccessResult(
+        rows=rows,
+        rows_examined=counters.rows_examined,
+        pages_visited=counters.pages_visited,
+        lookups=counters.lookups,
+        rewritten_sql=context.rewritten_sql,
+    )
+
+
+class JoinOperator:
+    """Base streaming equi-join: pull outer rows, probe the inner per row.
+
+    ``source`` is the outer input (an access path or another join operator);
+    ``probe`` builds, for each outer row, a fresh inner access path with the
+    join-key equalities bound as predicates (see
+    :class:`repro.engine.access.InnerPathBuilder`).  Because the bound
+    equalities are ordinary predicates, the inner path both *finds* matches
+    (via an index, a CM, or a residual-filtered scan) and *verifies* them --
+    the operator itself only merges rows.
+
+    Merged rows are ``{**outer, **inner}``; on the join keys both sides agree
+    by construction, and other same-named columns (which :meth:`Query.join`
+    cannot distinguish anyway) resolve to the inner table's value.
+    """
+
+    name = "join"
+    #: The inner strategy this operator was planned with (for EXPLAIN).
+    strategy = ""
+
+    def __init__(self, source: "RowSource", probe: "InnerProbe") -> None:
+        self.source = source
+        self.probe = probe
+
+    # -- streaming interface --------------------------------------------------
+
+    def iter_rows(
+        self, context: ExecutionContext | None = None
+    ) -> Iterator[dict[str, Any]]:
+        """Stream merged rows, charging counters on ``context`` as they flow."""
+        context = context or ExecutionContext()
+        if context.limit_reached:
+            return
+        yield from self._stream(context)
+
+    def _stream(self, context: ExecutionContext) -> Iterator[dict[str, Any]]:
+        outer_context = context.child()
+        try:
+            for outer_row in self.source.iter_rows(outer_context):
+                context.counters.join_probes += 1
+                inner_path = self.probe.bind(outer_row)
+                inner_context = context.child()
+                inner_context.report_rewritten_sql = False
+                for inner_row in inner_path.iter_rows(inner_context):
+                    yield context.emit({**outer_row, **inner_row})
+                    if context.limit_reached:
+                        return
+        finally:
+            # A CM-driven outer path writes its rewritten SQL onto the child
+            # context; surface it on the root so join results report it the
+            # way single-table CM scans do (nested joins bubble it up).
+            if context.rewritten_sql is None:
+                context.rewritten_sql = outer_context.rewritten_sql
+
+    def execute(self, context: ExecutionContext | None = None) -> "AccessResult":
+        """Materialise the stream into an :class:`AccessResult` (compatibility)."""
+        return materialize(self, context)
+
+    def describe(self) -> str:
+        source = getattr(self.source, "describe", self.source.__class__.__name__)
+        source_text = source() if callable(source) else str(source)
+        return f"{source_text} -> {self.name}[{self.probe.describe()}]"
+
+
+class InnerProbe(Protocol):
+    """Builds a fresh inner access path for one outer row's join-key values."""
+
+    def bind(self, outer_row: Mapping[str, Any]) -> "RowSource": ...  # pragma: no cover
+
+    def describe(self) -> str: ...  # pragma: no cover - protocol
+
+
+class NestedLoopJoin(JoinOperator):
+    """Naive nested loops: re-scan the inner table for every outer row.
+
+    The inner path is a sequential scan with the bound join keys applied as
+    residual filters, so each outer row costs a full inner sweep -- the
+    fallback when the inner table offers no useful access structure (or is
+    tiny enough that rescans beat index descents).
+    """
+
+    name = "nested_loop_join"
+    strategy = "seq_scan"
+
+
+class IndexNestedLoopJoin(JoinOperator):
+    """Index nested loops: probe an inner access structure per outer row.
+
+    The probe binds ``Equals(inner_key, outer_value)`` predicates and runs
+    them through a clustered-index scan, a sorted secondary-index scan, or a
+    correlation-map scan -- whichever the planner costed cheapest.  The CM
+    case is the paper's core trick applied across tables: when the join key
+    is correlated with the inner table's clustered key, a tiny memory-
+    resident CM narrows each probe to a few clustered buckets instead of a
+    B+Tree descent per matching tuple.
+    """
+
+    name = "index_nested_loop_join"
+
+    def __init__(self, source: "RowSource", probe: "InnerProbe", strategy: str) -> None:
+        super().__init__(source, probe)
+        self.strategy = strategy

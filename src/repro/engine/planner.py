@@ -1,37 +1,66 @@
-"""Cost-based access-path selection.
+"""Cost-based plan selection: access paths and pipelined join orders.
 
-The planner enumerates the applicable access paths for a query -- sequential
-scan, sorted secondary-index scan, clustered-index scan and correlation-map
-scan -- estimates each with the correlation-aware cost model of Section 4,
-and picks the cheapest.  A specific method can also be forced, which is how
-the benchmarks compare access paths against each other.
+For single-table queries the planner enumerates the applicable access paths
+-- sequential scan, sorted secondary-index scan, clustered-index scan and
+correlation-map scan -- estimates each with the correlation-aware cost model
+of Section 4, and picks the cheapest.  Selection is LIMIT-aware: each
+candidate's cost is split into an upfront part (index descents) and a
+streaming part (the page sweep early termination cuts short), and candidates
+are costed for ``min(limit, estimated_result_rows)`` output rows.
+
+For multi-table queries the planner enumerates left-deep join orders over
+the query's equi-join graph.  Each order starts from the cheapest access
+path of its driving table and adds one pipelined join step per remaining
+table; every step considers a naive nested-loop inner (sequential rescan)
+and every applicable index-nested-loop inner -- clustered index, secondary
+B+Tree, or correlation map.  The CM inner path is the paper's central idea
+applied across tables: when the join key is correlated with the inner
+table's clustered key, each probe resolves through the tiny memory-resident
+CM into a couple of clustered buckets instead of a B+Tree descent per
+matching tuple.  Join cardinalities come from the tables' reservoir samples
+(:func:`repro.core.statistics.join_fanout`), so join planning -- like
+single-table planning -- performs zero heap page reads.
+
+A specific access method or join strategy can also be forced, which is how
+the benchmarks compare plans against each other.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import Mapping, Sequence
 
 from repro.core.cost import (
     CMCostInputs,
+    CostSplit,
     cm_lookup_cost,
+    cm_lookup_cost_split,
+    index_nested_loop_join_cost,
+    limited_cost,
+    nested_loop_join_cost,
     pipelined_lookup_cost,
     scan_cost,
     sorted_lookup_cost,
+    sorted_lookup_cost_split,
 )
 from repro.core.model import HardwareParameters
+from repro.core.statistics import join_fanout
 from repro.engine.access import (
     AccessPath,
     ClusteredIndexScan,
     CorrelationMapScan,
+    InnerPathBuilder,
     PipelinedIndexScan,
     SeqScan,
     SortedIndexScan,
 )
+from repro.engine.executor import IndexNestedLoopJoin, JoinOperator, NestedLoopJoin
 from repro.engine.predicates import Between, Equals, InSet, PredicateSet
 from repro.engine.query import Query
 from repro.engine.table import Table
 
-#: Names accepted by ``force=`` arguments.
+#: Names accepted by ``force=`` arguments (single-table access methods).
 FORCE_METHODS = (
     "seq_scan",
     "sorted_index_scan",
@@ -40,22 +69,42 @@ FORCE_METHODS = (
     "cm_scan",
 )
 
+#: Names accepted by ``force_join=`` arguments.
+FORCE_JOIN_METHODS = ("nested_loop_join", "index_nested_loop_join")
+
 
 @dataclass
 class PlannedAccess:
-    """One candidate plan with its estimated cost."""
+    """One candidate plan with its estimated cost.
 
-    path: AccessPath
+    ``path`` is the executable plan root: an :class:`AccessPath` for
+    single-table queries or a :class:`~repro.engine.executor.JoinOperator`
+    for joins (both stream through ``iter_rows``/``execute``).
+    ``cost_split``, when present, is the upfront/streaming decomposition of
+    ``estimated_cost_ms`` used by LIMIT-aware selection.
+    """
+
+    path: AccessPath | JoinOperator
     estimated_cost_ms: float
     structure: str = ""
+    cost_split: CostSplit | None = None
 
     @property
     def method(self) -> str:
         return self.path.name
 
+    def join_steps(self) -> list[JoinOperator]:
+        """The join operators of this plan, root first (empty for scans)."""
+        steps: list[JoinOperator] = []
+        node = self.path
+        while isinstance(node, JoinOperator):
+            steps.append(node)
+            node = node.source  # type: ignore[assignment]
+        return steps
+
 
 class Planner:
-    """Chooses access paths for queries over one database's tables."""
+    """Chooses access paths and join plans for queries over one database."""
 
     def __init__(self, hardware: HardwareParameters) -> None:
         self.hardware = hardware
@@ -93,16 +142,44 @@ class Planner:
             return max(1, int(round(cardinality * fraction)))
         return 1
 
-    # -- candidate enumeration -------------------------------------------------------
+    # -- candidate enumeration (single table) -------------------------------------
 
-    def candidate_plans(self, table: Table, query: Query) -> list[PlannedAccess]:
-        predicates = query.predicates
+    def candidate_plans(
+        self, table: Table, query: Query, *, limit: int | None = None
+    ) -> list[PlannedAccess]:
+        """All applicable access paths for ``query``'s predicates, costed.
+
+        With ``limit`` given, candidates are costed for producing
+        ``min(limit, estimated_result_rows)`` rows: the streaming part of
+        each cost split is scaled by the fraction of the result the limit
+        asks for, while upfront index descents are charged in full (see
+        :func:`repro.core.cost.limited_cost`).  Without a limit the costs
+        are exactly the Section 4 formulas.
+        """
+        return self._candidate_scan_plans(table, query.predicates, limit=limit)
+
+    def _candidate_scan_plans(
+        self, table: Table, predicates: PredicateSet, *, limit: int | None = None
+    ) -> list[PlannedAccess]:
         profile = table.table_profile()
+        est_rows = table.estimate_matching_rows(predicates) if limit is not None else 0.0
+
+        def costed(split: CostSplit, unlimited_ms: float) -> float:
+            # A limit only changes the costing when it actually bites: the
+            # full-result formulas clamp upfront+streaming jointly, so fall
+            # back to them whenever every matching row will be produced.
+            if limit is None or est_rows < 1.0 or limit >= est_rows:
+                return unlimited_ms
+            return limited_cost(split, est_rows, limit)
+
+        full_scan = scan_cost(profile, self.hardware)
+        scan_split = CostSplit(0.0, full_scan)
         plans = [
             PlannedAccess(
                 path=SeqScan(table, predicates),
-                estimated_cost_ms=scan_cost(profile, self.hardware),
+                estimated_cost_ms=costed(scan_split, full_scan),
                 structure="heap",
+                cost_split=scan_split,
             )
         ]
 
@@ -114,12 +191,15 @@ class Planner:
         ):
             n = self._estimate_n_lookups(table, predicates, [table.clustered_attribute])
             corr = table.correlation_profile(table.clustered_attribute)
-            cost = sorted_lookup_cost(n, corr, profile, self.hardware)
+            split = sorted_lookup_cost_split(n, corr, profile, self.hardware)
             plans.append(
                 PlannedAccess(
                     path=ClusteredIndexScan(table, predicates),
-                    estimated_cost_ms=cost,
+                    estimated_cost_ms=costed(
+                        split, sorted_lookup_cost(n, corr, profile, self.hardware)
+                    ),
                     structure=f"clustered({table.clustered_attribute})",
+                    cost_split=split,
                 )
             )
 
@@ -130,12 +210,15 @@ class Planner:
                 continue
             n = self._estimate_n_lookups(table, predicates, index.attributes)
             corr = table.correlation_profile(list(index.attributes))
-            cost = sorted_lookup_cost(n, corr, profile, self.hardware)
+            split = sorted_lookup_cost_split(n, corr, profile, self.hardware)
             plans.append(
                 PlannedAccess(
                     path=SortedIndexScan(table, index, predicates),
-                    estimated_cost_ms=cost,
+                    estimated_cost_ms=costed(
+                        split, sorted_lookup_cost(n, corr, profile, self.hardware)
+                    ),
                     structure=name,
+                    cost_split=split,
                 )
             )
 
@@ -143,19 +226,21 @@ class Planner:
             if not any(attr in predicate_attrs for attr in cm.attributes):
                 continue
             n = self._estimate_cm_lookups(cm, predicates)
-            pages_per_target = self._pages_per_target(table, cm)
             inputs = CMCostInputs(
                 buckets_per_lookup=max(1.0, cm.measured_c_per_u()),
-                pages_per_bucket=pages_per_target,
+                pages_per_bucket=self._pages_per_target(table, cm),
                 cm_pages=cm.size_pages(),
                 cm_resident=True,
             )
-            cost = cm_lookup_cost(n, inputs, profile, self.hardware)
+            split = cm_lookup_cost_split(n, inputs, profile, self.hardware)
             plans.append(
                 PlannedAccess(
                     path=CorrelationMapScan(table, cm, predicates),
-                    estimated_cost_ms=cost,
+                    estimated_cost_ms=costed(
+                        split, cm_lookup_cost(n, inputs, profile, self.hardware)
+                    ),
                     structure=name,
+                    cost_split=split,
                 )
             )
         return plans
@@ -188,36 +273,58 @@ class Planner:
         profile = table.correlation_profile(table.clustered_attribute)
         return max(1.0, profile.c_pages(table.tups_per_page))
 
-    # -- selection -----------------------------------------------------------------------
+    # -- selection (single table) ---------------------------------------------------
 
-    def choose(self, table: Table, query: Query, *, force: str | None = None) -> PlannedAccess:
-        """Pick the cheapest applicable plan (or the forced one)."""
-        plans = self.candidate_plans(table, query)
+    def choose(
+        self,
+        table: Table,
+        query: Query,
+        *,
+        force: str | None = None,
+        limit: int | None = None,
+    ) -> PlannedAccess:
+        """Pick the cheapest applicable plan (or the forced one).
+
+        ``limit`` makes selection LIMIT-aware; pass the effective limit the
+        execution will run under so candidates are costed for the rows
+        actually produced.
+        """
+        plans = self.candidate_plans(table, query, limit=limit)
         if force is not None:
             if force not in FORCE_METHODS:
                 raise ValueError(f"unknown access method {force!r}")
             if force == "pipelined_index_scan":
-                # Derived from the sorted plan's index, costed per Section 3.1.
-                for plan in plans:
-                    if isinstance(plan.path, SortedIndexScan):
-                        profile = table.table_profile()
-                        corr = table.correlation_profile(list(plan.path.index.attributes))
-                        n = self._estimate_n_lookups(
-                            table, query.predicates, plan.path.index.attributes
-                        )
-                        return PlannedAccess(
-                            path=PipelinedIndexScan(table, plan.path.index, query.predicates),
-                            estimated_cost_ms=pipelined_lookup_cost(
-                                n, corr, profile, self.hardware
-                            ),
-                            structure=plan.structure,
-                        )
-                raise ValueError("no secondary index available for a pipelined scan")
+                plan = self._pipelined_plan(table, query.predicates)
+                if plan is None:
+                    raise ValueError("no secondary index available for a pipelined scan")
+                return plan
             matching = [plan for plan in plans if plan.method == force]
             if not matching:
                 raise ValueError(f"no applicable plan for forced method {force!r}")
             return min(matching, key=lambda plan: plan.estimated_cost_ms)
         return min(plans, key=self._plan_rank)
+
+    def _pipelined_plan(self, table: Table, predicates: PredicateSet) -> PlannedAccess | None:
+        """The pipelined variant of the cheapest applicable sorted-index plan.
+
+        Pipelined scans are never chosen by cost (the paper's point is how
+        badly they do), so they are synthesized on demand for ``force=``
+        callers -- including as a join's driving path.  Costed per Section
+        3.1; fully streaming, so the split has no upfront part.
+        """
+        for plan in self._candidate_scan_plans(table, predicates):
+            if isinstance(plan.path, SortedIndexScan):
+                profile = table.table_profile()
+                corr = table.correlation_profile(list(plan.path.index.attributes))
+                n = self._estimate_n_lookups(table, predicates, plan.path.index.attributes)
+                cost = pipelined_lookup_cost(n, corr, profile, self.hardware)
+                return PlannedAccess(
+                    path=PipelinedIndexScan(table, plan.path.index, predicates),
+                    estimated_cost_ms=cost,
+                    structure=plan.structure,
+                    cost_split=CostSplit(0.0, cost),
+                )
+        return None
 
     #: Tie-break order when estimated costs are equal (which happens when all
     #: alternatives clamp to the scan cost on small tables): prefer the more
@@ -231,3 +338,382 @@ class Planner:
 
     def _plan_rank(self, plan: PlannedAccess) -> tuple[float, int]:
         return (plan.estimated_cost_ms, self._METHOD_PREFERENCE.get(plan.method, 9))
+
+    # -- join planning ---------------------------------------------------------------
+
+    def candidate_join_plans(
+        self,
+        tables: Mapping[str, Table],
+        query: Query,
+        *,
+        force: str | None = None,
+        limit: int | None = None,
+    ) -> list[PlannedAccess]:
+        """Left-deep join plans for ``query``, one per (order, strategy) shape.
+
+        For every connected left-deep order of the join graph, up to three
+        candidate shapes are produced: the cheapest strategy per step (which
+        picks an index-nested-loop inner whenever one beats rescanning), the
+        pure nested-loop shape (the baseline the benchmarks force), and the
+        pure index-nested-loop shape (when every inner table offers a probe
+        structure).  ``force`` pins the driving table's access method.  All
+        cardinalities come from reservoir samples; enumeration never reads a
+        heap page.
+        """
+        edges = self._join_edges(tables, query)
+        orders = self._left_deep_orders(query.tables, edges)
+        if not orders:
+            raise ValueError(
+                f"join graph of {query.describe()!r} is not connected: every "
+                "joined table needs an equality linking it to the chain"
+            )
+        plans: list[PlannedAccess] = []
+        seen: set[str] = set()
+        for order in orders:
+            analysis = self._analyze_order(
+                tables, query, order, edges, force=force, limit=limit
+            )
+            if analysis is None:
+                continue
+            for selector in ("best", "nested_loop_join", "index_nested_loop_join"):
+                plan = self._build_order_plan(analysis, selector, limit)
+                if plan is not None and plan.structure not in seen:
+                    seen.add(plan.structure)
+                    plans.append(plan)
+        if not plans:
+            raise ValueError(f"no applicable join plan for forced method {force!r}")
+        return plans
+
+    def choose_join(
+        self,
+        tables: Mapping[str, Table],
+        query: Query,
+        *,
+        force: str | None = None,
+        force_join: str | None = None,
+        limit: int | None = None,
+    ) -> PlannedAccess:
+        """Pick the cheapest join plan (or the cheapest with a forced strategy).
+
+        ``force_join`` restricts plans by their *step composition*, not just
+        the root operator: ``"nested_loop_join"`` keeps only plans whose
+        every step rescans the inner sequentially, ``"index_nested_loop_
+        join"`` only plans whose every step probes an access structure (so a
+        mixed chain satisfies neither baseline).  ``force`` pins the driving
+        table's access method, as for single-table queries.
+        """
+        if force_join is not None and force_join not in FORCE_JOIN_METHODS:
+            raise ValueError(f"unknown join method {force_join!r}")
+        plans = self.candidate_join_plans(tables, query, force=force, limit=limit)
+        if force_join is not None:
+            wanted = NestedLoopJoin if force_join == "nested_loop_join" else IndexNestedLoopJoin
+            plans = [
+                plan
+                for plan in plans
+                if all(type(step) is wanted for step in plan.join_steps())
+            ]
+            if not plans:
+                raise ValueError(f"no applicable plan for forced join {force_join!r}")
+        return min(plans, key=lambda plan: plan.estimated_cost_ms)
+
+    def _join_edges(
+        self, tables: Mapping[str, Table], query: Query
+    ) -> list[tuple[str, str, str, str]]:
+        """The equi-join graph as ``(table_a, column_a, table_b, column_b)``.
+
+        Each :class:`JoinSpec` pair contributes one edge; the left column is
+        resolved to its owning table by walking the chain prefix backwards
+        (matching the merged-row semantics, where the latest table wins a
+        name collision).
+        """
+        edges: list[tuple[str, str, str, str]] = []
+        for position, spec in enumerate(query.joins):
+            prefix = query.tables[: position + 1]
+            for left, right in spec.on:
+                owner = None
+                for candidate in reversed(prefix):
+                    if tables[candidate].schema.has_column(left):
+                        owner = candidate
+                        break
+                if owner is None:
+                    raise ValueError(
+                        f"join column {left!r} not found in any of {prefix}"
+                    )
+                if not tables[spec.table].schema.has_column(right):
+                    raise ValueError(
+                        f"unknown column {right!r} in joined table {spec.table!r}"
+                    )
+                edges.append((owner, left, spec.table, right))
+        return edges
+
+    @staticmethod
+    def _left_deep_orders(
+        names: Sequence[str], edges: Sequence[tuple[str, str, str, str]]
+    ) -> list[tuple[str, ...]]:
+        """Every permutation in which each table connects to the prefix."""
+        orders: list[tuple[str, ...]] = []
+
+        def connected(name: str, prefix: tuple[str, ...]) -> bool:
+            return any(
+                (a == name and b in prefix) or (b == name and a in prefix)
+                for a, _ca, b, _cb in edges
+            )
+
+        def extend(prefix: tuple[str, ...], remaining: frozenset[str]) -> None:
+            if not remaining:
+                orders.append(prefix)
+                return
+            for name in sorted(remaining):
+                if connected(name, prefix):
+                    extend(prefix + (name,), remaining - {name})
+
+        for first in names:
+            extend((first,), frozenset(names) - {first})
+        return orders
+
+    def _local_predicates(self, query: Query, name: str) -> PredicateSet:
+        if name == query.table:
+            return query.predicates
+        for spec in query.joins:
+            if spec.table == name:
+                return spec.predicates
+        raise KeyError(name)
+
+    def _inner_strategy_options(
+        self,
+        table: Table,
+        inner_columns: Sequence[str],
+    ) -> list[tuple[str, float, object, object]]:
+        """Applicable ``(strategy, per_probe_cost_ms, index, cm)`` tuples.
+
+        Per-probe costs are the single-lookup (``n_lookups = 1``) variants of
+        the Section 4 formulas.  Clustered-index and CM probes conservatively
+        sweep the table's unclustered tail on *every* probe (rows inserted
+        after the last CLUSTER are not covered by the clustered page ranges),
+        so their per-probe price includes the tail pages -- as the tail grows
+        the planner degrades them honestly and falls back to the rescan.  The
+        sequential rescan is always applicable and anchors the nested-loop
+        baseline; secondary-index probes reach tail rows through the index
+        and pay no tail term.
+        """
+        profile = table.table_profile()
+        options: list[tuple[str, float, object, object]] = [
+            ("seq_scan", scan_cost(profile, self.hardware), None, None)
+        ]
+        inner_set = set(inner_columns)
+        tail_ms = len(table.tail_pages()) * self.hardware.seq_page_cost_ms
+        if table.clustered_attribute in inner_set:
+            corr = table.correlation_profile(table.clustered_attribute)
+            options.append(
+                (
+                    "clustered_index_scan",
+                    sorted_lookup_cost(1, corr, profile, self.hardware) + tail_ms,
+                    None,
+                    None,
+                )
+            )
+        if table.clustered_attribute is not None:
+            for index in table.secondary_indexes.values():
+                if index.attributes[0] not in inner_set:
+                    continue
+                corr = table.correlation_profile(list(index.attributes))
+                options.append(
+                    (
+                        "sorted_index_scan",
+                        sorted_lookup_cost(1, corr, profile, self.hardware),
+                        index,
+                        None,
+                    )
+                )
+            for cm in table.correlation_maps.values():
+                if not any(attr in inner_set for attr in cm.attributes):
+                    continue
+                inputs = CMCostInputs(
+                    buckets_per_lookup=max(1.0, cm.measured_c_per_u()),
+                    pages_per_bucket=self._pages_per_target(table, cm),
+                    cm_pages=cm.size_pages(),
+                    cm_resident=True,
+                )
+                options.append(
+                    (
+                        "cm_scan",
+                        cm_lookup_cost(1, inputs, profile, self.hardware) + tail_ms,
+                        None,
+                        cm,
+                    )
+                )
+        return options
+
+    def _outer_key_cardinality(
+        self, tables: Mapping[str, Table], pairs: Sequence[tuple[str, str, str]]
+    ) -> float:
+        """Distinct count of the outer join key (composite when one table owns it)."""
+        owners = {owner for owner, _outer_col, _inner_col in pairs}
+        if len(owners) == 1:
+            owner = next(iter(owners))
+            return float(
+                tables[owner].key_cardinality([outer for _o, outer, _i in pairs])
+            )
+        return float(
+            max(tables[o].attribute_cardinality(c) for o, c, _i in pairs)
+        )
+
+    def _analyze_order(
+        self,
+        tables: Mapping[str, Table],
+        query: Query,
+        order: Sequence[str],
+        edges: Sequence[tuple[str, str, str, str]],
+        *,
+        force: str | None,
+        limit: int | None,
+    ) -> "_OrderAnalysis | None":
+        """The selector-independent costing inputs for one left-deep order.
+
+        Everything that touches the statistics sample -- driving-plan
+        costing, result-size estimates, strategy options, fanouts -- is
+        computed once here and shared by all strategy shapes built for the
+        order, so planning cost does not scale with the number of shapes.
+        """
+        steps: list[_JoinStep] = []
+        for position, name in enumerate(order[1:], start=1):
+            prefix = tuple(order[:position])
+            pairs = [
+                (a, ca, cb) if b == name else (b, cb, ca)
+                for a, ca, b, cb in edges
+                if (b == name and a in prefix) or (a == name and b in prefix)
+            ]
+            if not pairs:
+                return None
+            table = tables[name]
+            local = self._local_predicates(query, name)
+            inner_columns = [inner for _owner, _outer, inner in pairs]
+            fanout = join_fanout(
+                table.num_rows,
+                self._outer_key_cardinality(tables, pairs),
+                float(table.key_cardinality(inner_columns)),
+            )
+            steps.append(
+                _JoinStep(
+                    table=table,
+                    join_on=[(outer, inner) for _owner, outer, inner in pairs],
+                    local=local,
+                    options=self._inner_strategy_options(table, inner_columns),
+                    fanout=fanout,
+                    selectivity=(
+                        table.statistics.match_fraction(local.matches, key=tuple(local))
+                        if local
+                        else 1.0
+                    ),
+                )
+            )
+
+        # A join LIMIT terminates the driver early too: each outer row yields
+        # about prod(fanout * selectivity) result rows, so the driver only
+        # needs limit / that-product of its own rows.  Selecting (and
+        # costing) the driving path with that budget keeps join selection as
+        # LIMIT-aware as the single-table case.
+        driver_limit = limit
+        if limit is not None and limit >= 1:
+            amplification = 1.0
+            for step in steps:
+                amplification *= step.fanout * step.selectivity
+            if amplification > 0:
+                driver_limit = max(1, math.ceil(limit / amplification))
+        driving = tables[order[0]]
+        driving_predicates = self._local_predicates(query, order[0])
+        if force == "pipelined_index_scan":
+            driving_plan = self._pipelined_plan(driving, driving_predicates)
+        else:
+            driving_plan = min(
+                (
+                    plan
+                    for plan in self._candidate_scan_plans(
+                        driving, driving_predicates, limit=driver_limit
+                    )
+                    if force is None or plan.method == force
+                ),
+                key=self._plan_rank,
+                default=None,
+            )
+        if driving_plan is None:
+            return None  # the forced method is inapplicable to this order's driver
+        return _OrderAnalysis(
+            driving_label=f"{order[0]}[{driving_plan.method}:{driving_plan.structure}]",
+            driving_plan=driving_plan,
+            driving_rows=driving.estimate_matching_rows(driving_predicates),
+            steps=steps,
+        )
+
+    def _build_order_plan(
+        self, analysis: "_OrderAnalysis", selector: str, limit: int | None
+    ) -> PlannedAccess | None:
+        """One strategy shape over a pre-analyzed order (``selector`` picks)."""
+        step_cost = 0.0
+        est_rows = analysis.driving_rows
+        parts = [analysis.driving_label]
+        source: AccessPath | JoinOperator = analysis.driving_plan.path
+
+        for step in analysis.steps:
+            options = step.options
+            if selector == "nested_loop_join":
+                options = [opt for opt in options if opt[0] == "seq_scan"]
+            elif selector == "index_nested_loop_join":
+                options = [opt for opt in options if opt[0] != "seq_scan"]
+                if not options:
+                    return None  # no probe structure on this inner table
+            strategy, per_probe, index, cm = min(options, key=lambda opt: opt[1])
+
+            if strategy == "seq_scan":
+                step_cost = nested_loop_join_cost(
+                    step_cost, est_rows, step.table.table_profile(), self.hardware
+                )
+            else:
+                step_cost = index_nested_loop_join_cost(step_cost, est_rows, per_probe)
+
+            builder = InnerPathBuilder(
+                step.table, step.join_on, step.local, strategy, index=index, cm=cm
+            )
+            if strategy == "seq_scan":
+                source = NestedLoopJoin(source, builder)
+            else:
+                source = IndexNestedLoopJoin(source, builder, strategy)
+            parts.append(f"{source.name}[{builder.describe()}]")
+            est_rows = est_rows * step.fanout * step.selectivity
+
+        # The driving plan was already costed under its share of the LIMIT
+        # (see _analyze_order); the join steps are per-outer-row streaming
+        # work, so a binding LIMIT scales them by the emitted fraction.
+        fraction = 1.0
+        if limit is not None and 1.0 <= limit < est_rows:
+            fraction = limit / est_rows
+        cost = analysis.driving_plan.estimated_cost_ms + step_cost * fraction
+        assert isinstance(source, JoinOperator)
+        return PlannedAccess(
+            path=source,
+            estimated_cost_ms=cost,
+            structure=" -> ".join(parts),
+        )
+
+
+@dataclass
+class _JoinStep:
+    """Selector-independent inputs for one join step of one order."""
+
+    table: Table
+    join_on: list[tuple[str, str]]
+    local: PredicateSet
+    #: ``(strategy, per_probe_cost_ms, index, cm)`` candidates.
+    options: list[tuple[str, float, object, object]]
+    fanout: float
+    selectivity: float
+
+
+@dataclass
+class _OrderAnalysis:
+    """One left-deep order, analyzed once and shared by its strategy shapes."""
+
+    driving_label: str
+    driving_plan: PlannedAccess
+    driving_rows: float
+    steps: list[_JoinStep]

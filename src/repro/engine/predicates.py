@@ -153,19 +153,49 @@ class PredicateSet:
         """Predicates usable for index/CM lookups (not expression filters)."""
         return [p for p in self.predicates if not isinstance(p, ExpressionPredicate)]
 
-    def on_attribute(self, attribute: str) -> Predicate | None:
-        for predicate in self.predicates:
-            if predicate.attribute == attribute and not isinstance(
-                predicate, ExpressionPredicate
+    def best_by_attribute(self) -> dict[str, Predicate]:
+        """The most selective indexable predicate per attribute.
+
+        When several predicates constrain the same attribute (e.g. a local
+        range filter plus a join-key equality bound by an inner probe), the
+        lookup-driving one is the tightest: ``Equals`` beats ``InSet`` beats
+        ``Between``.  All of them still apply as residual filters.  This is
+        the single precedence rule shared by index probing, CM constraint
+        derivation and :meth:`on_attribute`.
+        """
+        best: dict[str, Predicate] = {}
+        for predicate in self.indexable_predicates():
+            current = best.get(predicate.attribute)
+            if current is None or self._selectivity_rank(predicate) < self._selectivity_rank(
+                current
             ):
-                return predicate
-        return None
+                best[predicate.attribute] = predicate
+        return best
+
+    def on_attribute(self, attribute: str) -> Predicate | None:
+        """The most selective indexable predicate on ``attribute`` (or None)."""
+        return self.best_by_attribute().get(attribute)
+
+    @staticmethod
+    def _selectivity_rank(predicate: Predicate) -> int:
+        if isinstance(predicate, Equals):
+            return 0
+        if isinstance(predicate, InSet):
+            return 1
+        if isinstance(predicate, Between):
+            return 2
+        return 3
 
     def constraints(self) -> dict[str, ValueConstraint]:
-        """Per-attribute value constraints (for CMs and the rewriter)."""
+        """Per-attribute value constraints (for CMs and the rewriter).
+
+        One constraint per attribute, from its most selective predicate
+        (:meth:`best_by_attribute`); the weaker predicates on the attribute
+        remain residual filters.
+        """
         return {
-            predicate.attribute: predicate.constraint()
-            for predicate in self.indexable_predicates()
+            attribute: predicate.constraint()
+            for attribute, predicate in self.best_by_attribute().items()
         }
 
     def describe(self) -> str:

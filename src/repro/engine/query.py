@@ -1,14 +1,30 @@
-"""Query descriptions and results.
+"""Query descriptions and results: the engine's declarative surface.
 
-Queries are declarative: a table, a conjunction of predicates and an optional
-aggregate.  Results carry the rows (or the aggregate value) together with the
-simulated I/O statistics of the execution, which is what the experiments
-measure.
+A :class:`Query` is a declarative description of what to compute -- a base
+table, a conjunction of predicates, an optional chain of equi-joins, an
+optional aggregate, LIMIT and projection.  It carries no execution state:
+the planner (:mod:`repro.engine.planner`) chooses access paths and join
+strategies for it, and the executor (:mod:`repro.engine.executor`) streams
+its rows.  :class:`QueryResult` is the materialised outcome of one
+execution: the rows (or the aggregate value) together with the simulated
+I/O statistics that the paper's experiments measure.
+
+Joins are expressed as left-deep chains: ``Query.select(...)`` names the
+driving table and :meth:`Query.join` appends one joined table at a time,
+each connected to the tables before it by one or more equality pairs
+(:class:`JoinSpec`).  The textual rendering follows SQL::
+
+    SELECT * FROM lineitem JOIN orders USING (orderkey)
+        WHERE shipdate BETWEEN 100 AND 120
+
+Queries, join specs and predicates are all plain immutable values, so one
+query object can be planned and executed many times (the benchmarks rely on
+this to compare access methods against each other).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.engine.predicates import Predicate, PredicateSet
@@ -70,15 +86,130 @@ class Aggregate:
         return cls("sum", expression)
 
 
+def _normalize_on(
+    on: str | tuple[str, str] | Mapping[str, str] | Sequence[Any],
+) -> tuple[tuple[str, str], ...]:
+    """Normalise a join condition into ``((left_column, right_column), ...)``.
+
+    Accepted forms:
+
+    * ``"orderkey"`` -- same column name on both sides (SQL's ``USING``);
+    * ``("custid", "id")`` -- one explicit ``(left, right)`` pair.  Only a
+      *tuple* of exactly two strings is read this way, so a *list* of names
+      keeps its ``USING`` meaning at every arity: ``["orderkey",
+      "linenumber"]`` is two same-named keys, not a cross-column pair;
+    * ``{"custid": "id", "region": "region"}`` -- several explicit pairs;
+    * a list mixing column names and ``(left, right)`` tuples, e.g.
+      ``[("custid", "id"), "region"]``.
+    """
+    if isinstance(on, str):
+        return ((on, on),)
+    if isinstance(on, Mapping):
+        pairs = tuple((left, right) for left, right in on.items())
+    elif (
+        isinstance(on, tuple)
+        and len(on) == 2
+        and all(isinstance(item, str) for item in on)
+    ):
+        pairs = ((on[0], on[1]),)
+    else:
+        normalized = []
+        for item in on:
+            if isinstance(item, str):
+                normalized.append((item, item))
+                continue
+            pair = tuple(item)
+            if len(pair) != 2:
+                raise ValueError(
+                    f"a join key pair needs exactly (left, right) columns, got {item!r}"
+                )
+            normalized.append((pair[0], pair[1]))
+        pairs = tuple(normalized)
+    if not pairs:
+        raise ValueError("a join needs at least one key pair")
+    for left, right in pairs:
+        if not isinstance(left, str) or not isinstance(right, str):
+            raise TypeError("join keys must be column names")
+    return pairs
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """One step of a left-deep equi-join chain.
+
+    ``table`` is the joined (right-hand) table.  ``on`` holds the equality
+    pairs ``(left_column, right_column)``: the left column comes from any
+    table already in the chain, the right column from ``table``.
+    ``predicates`` are local filters on the joined table; the planner pushes
+    them into the inner access path, where they double as residual filters.
+    """
+
+    table: str
+    on: tuple[tuple[str, str], ...]
+    predicates: PredicateSet = field(default_factory=PredicateSet)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "on", _normalize_on(self.on))
+        if isinstance(self.predicates, (list, tuple)):
+            object.__setattr__(self, "predicates", PredicateSet(self.predicates))
+
+    @property
+    def left_columns(self) -> tuple[str, ...]:
+        return tuple(left for left, _right in self.on)
+
+    @property
+    def right_columns(self) -> tuple[str, ...]:
+        return tuple(right for _left, right in self.on)
+
+    def describe(self) -> str:
+        """The SQL rendering of this join step (``USING`` when names agree)."""
+        if all(left == right for left, right in self.on):
+            return f"JOIN {self.table} USING ({', '.join(self.left_columns)})"
+        condition = " AND ".join(
+            f"{left} = {self.table}.{right}" for left, right in self.on
+        )
+        return f"JOIN {self.table} ON {condition}"
+
+
 @dataclass
 class Query:
-    """A selection (optionally aggregating) query over one table.
+    """A declarative query: one driving table plus an optional join chain.
 
     ``limit`` caps the number of rows produced; the streaming executor stops
-    sweeping heap pages as soon as the cap is met.  ``projection`` names the
-    columns kept in the output rows (residual predicates still see every
-    column).  Neither combines with an aggregate: aggregates consume the full
-    matching row stream.
+    sweeping heap pages (and, under a join, stops pulling outer rows) as soon
+    as the cap is met.  ``projection`` names the columns kept in the output
+    rows -- under a join they may come from any table in the chain (residual
+    predicates still see every column).  Neither combines with an aggregate:
+    aggregates consume the full matching row stream.
+
+    A worked two-table example, end to end::
+
+        >>> from repro.engine.database import Database
+        >>> from repro.engine.predicates import Equals
+        >>> from repro.engine.query import Query
+        >>> db = Database()
+        >>> _ = db.create_table("orders", columns=["orderid", "custid", "amount"])
+        >>> _ = db.create_table("customers", columns=["custid", "name"])
+        >>> _ = db.load("orders", [
+        ...     {"orderid": 1, "custid": 7, "amount": 30.0},
+        ...     {"orderid": 2, "custid": 8, "amount": 12.5},
+        ...     {"orderid": 3, "custid": 7, "amount": 99.0},
+        ... ])
+        >>> _ = db.load("customers", [
+        ...     {"custid": 7, "name": "ada"},
+        ...     {"custid": 8, "name": "bob"},
+        ... ])
+        >>> query = Query.select("orders", Equals("custid", 7)).join(
+        ...     "customers", on="custid")
+        >>> query.describe()
+        'SELECT * FROM orders JOIN customers USING (custid) WHERE custid = 7'
+        >>> sorted(row["orderid"] for row in db.stream(query))
+        [1, 3]
+        >>> [row["name"] for row in db.stream(query, projection=["name"])]
+        ['ada', 'ada']
+
+    :meth:`join` returns a *new* query, so partially-built queries can be
+    shared and extended (multi-way joins are left-deep chains of such steps).
     """
 
     table: str
@@ -87,6 +218,7 @@ class Query:
     name: str = ""
     limit: int | None = None
     projection: tuple[str, ...] | None = None
+    joins: tuple[JoinSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if isinstance(self.predicates, (list, tuple)):
@@ -100,6 +232,7 @@ class Query:
             if self.aggregate is not None:
                 raise ValueError("a projection cannot be combined with an aggregate")
             self.projection = tuple(self.projection)
+        self.joins = tuple(self.joins)
 
     @classmethod
     def select(
@@ -111,6 +244,7 @@ class Query:
         limit: int | None = None,
         projection: Sequence[str] | None = None,
     ) -> "Query":
+        """Build a query over ``table`` with ``predicates`` ANDed together."""
         return cls(
             table=table,
             predicates=PredicateSet(predicates),
@@ -120,7 +254,32 @@ class Query:
             projection=tuple(projection) if projection is not None else None,
         )
 
+    def join(
+        self,
+        table: str,
+        on: str | tuple[str, str] | Mapping[str, str] | Sequence[Any],
+        *predicates: Predicate,
+    ) -> "Query":
+        """A new query extending this one with an equi-join against ``table``.
+
+        ``on`` names the join keys (see :func:`_normalize_on` for the accepted
+        forms); ``predicates`` are local filters on the joined table, pushed
+        down into whichever inner access path the planner picks.  Each table
+        may appear once per chain -- self-joins would need column aliasing,
+        which the row-merging executor does not provide.
+        """
+        if table == self.table or any(spec.table == table for spec in self.joins):
+            raise ValueError(f"table {table!r} already appears in the join chain")
+        spec = JoinSpec(table=table, on=on, predicates=PredicateSet(predicates))
+        return replace(self, joins=self.joins + (spec,))
+
+    @property
+    def tables(self) -> tuple[str, ...]:
+        """Every table in the chain, driving table first."""
+        return (self.table, *(spec.table for spec in self.joins))
+
     def describe(self) -> str:
+        """An SQL rendering of the query (joins, WHERE conjunction, LIMIT)."""
         select_list = "*"
         if self.aggregate is not None:
             expression = self.aggregate.expression
@@ -133,7 +292,16 @@ class Query:
             select_list = f"{self.aggregate.kind.upper()}({expr})"
         elif self.projection is not None:
             select_list = ", ".join(self.projection)
-        sql = f"SELECT {select_list} FROM {self.table} WHERE {self.predicates.describe()}"
+        from_clause = " ".join(
+            [self.table, *(spec.describe() for spec in self.joins)]
+        )
+        conditions = [
+            predicate_set.describe()
+            for predicate_set in (self.predicates, *(s.predicates for s in self.joins))
+            if predicate_set
+        ]
+        where = " AND ".join(conditions) if conditions else "TRUE"
+        sql = f"SELECT {select_list} FROM {from_clause} WHERE {where}"
         if self.limit is not None:
             sql += f" LIMIT {self.limit}"
         return sql
@@ -141,7 +309,15 @@ class Query:
 
 @dataclass
 class QueryResult:
-    """The outcome of executing one query."""
+    """The outcome of executing one query.
+
+    ``access_method`` names the plan root: one of the access-path names for
+    single-table queries (``seq_scan``, ``cm_scan``, ...) or a join operator
+    name (``nested_loop_join``, ``index_nested_loop_join``) for joins.  The
+    counters (``rows_examined``, ``pages_visited``) aggregate over *every*
+    input of the plan -- under a join they include both the outer sweep and
+    all inner probes.
+    """
 
     query: Query
     access_method: str

@@ -354,6 +354,24 @@ class Table:
     def attribute_cardinality(self, attribute: str) -> int:
         return self.statistics.cardinality(attribute)
 
+    def key_cardinality(self, attributes: Sequence[str] | str) -> int:
+        """Distinct-value count of a (possibly composite) key, from the sample."""
+        if isinstance(attributes, str):
+            attributes = [attributes]
+        return self.statistics.cardinality(CompositeKeySpec.build(attributes))
+
+    def estimate_matching_rows(self, predicates) -> float:
+        """Estimated rows satisfying ``predicates`` (sample selectivity x count).
+
+        Used by LIMIT-aware plan selection and join-cardinality estimation;
+        served entirely from the reservoir sample, never from the heap, and
+        memoised per predicate set until the next insert/delete.
+        """
+        fraction = self.statistics.match_fraction(
+            predicates.matches, key=tuple(predicates)
+        )
+        return self.num_rows * fraction
+
     def attribute_range(self, attribute: str) -> tuple[Any, Any] | None:
         """Incrementally-maintained ``(min, max)`` of ``attribute``."""
         return self.statistics.attribute_range(attribute)

@@ -101,3 +101,67 @@ def test_cm_lookup_estimation_counts_buckets(indexed_database):
     wide = planner._estimate_cm_lookups(cm, PredicateSet.of(Between("price", 1000, 5000)))
     assert 1 <= narrow <= 5
     assert wide > narrow
+
+
+class TestLimitAwareSelection:
+    """Regression for the ROADMAP gap: selection used to ignore the LIMIT."""
+
+    @pytest.fixture()
+    def priced_database(self):
+        from repro.bench.harness import ExperimentScale, build_ebay_database
+
+        db, _rows = build_ebay_database(ExperimentScale(0.25))
+        db.create_secondary_index("items", "price")
+        return db
+
+    QUERY_ARGS = (Between("price", 100_000, 110_000),)
+
+    def test_tiny_limit_flips_the_plan_to_a_terminated_scan(self, priced_database):
+        db = priced_database
+        table = db.table("items")
+        query = Query.select("items", *self.QUERY_ARGS)
+        unlimited = db.planner.choose(table, query)
+        limited = db.planner.choose(table, query, limit=1)
+        # Unlimited, the index plan wins; for one row, its upfront descents
+        # cost more than the fraction of a scan that produces one match.
+        assert unlimited.method == "sorted_index_scan"
+        assert limited.method == "seq_scan"
+        assert limited.estimated_cost_ms < unlimited.estimated_cost_ms
+
+    def test_run_query_passes_the_limit_into_selection(self, priced_database):
+        db = priced_database
+        query = Query.select("items", *self.QUERY_ARGS)
+        result = db.run_query(query, limit=1)
+        assert result.access_method == "seq_scan"
+        assert result.rows_matched == 1
+        # A limit larger than the result keeps the unlimited choice.
+        roomy = db.run_query(query, limit=10_000_000)
+        assert roomy.access_method == "sorted_index_scan"
+
+    def test_explain_reflects_the_query_limit(self, priced_database):
+        db = priced_database
+        unlimited = db.explain(Query.select("items", *self.QUERY_ARGS))
+        limited = db.explain(Query.select("items", *self.QUERY_ARGS, limit=1))
+        assert unlimited[0]["method"] == "sorted_index_scan"
+        assert limited[0]["method"] == "seq_scan"
+
+    def test_limit_costing_scales_with_the_limit(self, priced_database):
+        db = priced_database
+        table = db.table("items")
+        query = Query.select("items", *self.QUERY_ARGS)
+        costs = [
+            db.planner.choose(table, query, limit=limit, force="seq_scan").estimated_cost_ms
+            for limit in (1, 10, 100)
+        ]
+        assert costs == sorted(costs)
+        assert costs[0] < costs[-1]
+
+    def test_zero_estimated_matches_keeps_full_costing(self, priced_database):
+        # A LIMIT that can never be satisfied terminates nothing: candidates
+        # must be costed as if the whole table were swept.
+        db = priced_database
+        table = db.table("items")
+        query = Query.select("items", Between("price", -500, -100))
+        limited = db.planner.choose(table, query, limit=1, force="seq_scan")
+        unlimited = db.planner.choose(table, query, force="seq_scan")
+        assert limited.estimated_cost_ms == unlimited.estimated_cost_ms

@@ -1,0 +1,25 @@
+"""The docs gate runs in tier-1 too, not just in CI's docs job.
+
+``scripts/check_docs.py`` validates every intra-repo markdown link and runs
+``doctest`` over the package's docstring examples (``Query.join``,
+``CorrelationMap``); executing it here keeps the examples honest on every
+local test run, not only on push.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_docs_links_and_doctests_pass():
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "check_docs.py")],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    # The gate is only meaningful while doctests actually exist.
+    assert "ran 0 doctests" not in result.stdout
