@@ -1,19 +1,21 @@
-"""The pipelined join must plan off-heap and stream under LIMIT.
+"""The pipelined join must plan off-heap, stream under LIMIT, and stay linear.
 
-Three guards for the lineitem-orders join workload (counter-based, no wall
-clock):
+Guards for the lineitem-orders join workload (counter-based, no wall clock):
 
-* join *planning* -- order enumeration, inner-strategy costing, join
-  cardinality estimation -- performs zero heap page reads, exactly like
-  single-table planning (the statistics come from reservoir samples and the
-  memory-resident CMs);
+* join *planning* -- order enumeration, inner-strategy costing (including
+  the hash and sort-merge candidates), join cardinality estimation --
+  performs zero heap page reads, exactly like single-table planning (the
+  statistics come from reservoir samples and the memory-resident CMs);
 * the paper-shaped query (predicate on the correlated attribute ``shipdate``,
-  equi-join to orders on ``orderkey``) picks an index-nested-loop plan, and
-  under a LIMIT the pipeline stops pulling outer rows instead of exhausting
-  the outer scan;
-* the index-nested-loop plan beats the forced nested-loop baseline in
-  simulated time, and the CM-guided inner path (orders clustered by
-  ``orderdate``, CM on the correlated ``orderkey``) is selected when the
+  equi-join to orders on ``orderkey``) streams the full result through a
+  hash join in O(N + M) pages, and under a LIMIT flips back to the
+  index-nested-loop pipeline (streaming probes beat the upfront hash build
+  for a handful of rows) without exhausting the outer scan;
+* with an *unindexed* inner -- the case that used to fall back to the
+  quadratic nested-loop rescan -- the hash join reads O(N + M) heap pages
+  where the forced nested-loop baseline reads O(N * M);
+* the CM-guided inner path (orders clustered by ``orderdate``, CM on the
+  correlated ``orderkey``) is still selected for probe-style plans when the
   clustered index no longer covers the join key.
 """
 
@@ -40,8 +42,22 @@ def join_database():
     return db, lineitem_rows, orders_rows
 
 
+@pytest.fixture(scope="module")
+def unindexed_join_database():
+    """lineitem + a bare-heap orders: no clustering, no index, no CM."""
+    db, lineitem_rows, orders_rows = build_tpch_join_database(
+        ExperimentScale(0.25), cluster_orders_on=None
+    )
+    return db, lineitem_rows, orders_rows
+
+
 def total_heap_reads(db):
     return sum(table.heap.logical_page_reads for table in db.tables.values())
+
+
+def expected_match_count(lineitem_rows):
+    low, high = SHIPDATE_WINDOW
+    return sum(1 for row in lineitem_rows if low <= row["shipdate"] <= high)
 
 
 def test_join_planning_performs_zero_heap_page_reads(join_database):
@@ -51,38 +67,55 @@ def test_join_planning_performs_zero_heap_page_reads(join_database):
     before_io = db.disk.snapshot()
     db.planner.candidate_join_plans(db.tables, query)
     db.planner.choose_join(db.tables, query)
-    db.planner.choose_join(db.tables, query, force_join="nested_loop_join")
+    for strategy in ("nested_loop_join", "hash_join", "sort_merge_join"):
+        db.planner.choose_join(db.tables, query, force_join=strategy)
     db.planner.choose_join(db.tables, query, limit=10)
     db.explain(query)
     assert total_heap_reads(db) == before_reads
     assert db.disk.window_since(before_io).pages_read == 0
 
 
-def test_correlated_predicate_join_picks_index_nested_loop(join_database):
+def test_full_result_join_picks_hash_join(join_database):
     db, lineitem_rows, orders_rows = join_database
     result = db.run_query(join_query(), cold_cache=True)
-    assert result.access_method == "index_nested_loop_join"
+    # The hash build reads each input once, so it beats per-row probing for
+    # the full result; probe plans come back under a LIMIT (below).
+    assert result.access_method == "hash_join"
     # The merged rows agree with a reference in-memory hash join.
-    low, high = SHIPDATE_WINDOW
     orders_by_key = {row["orderkey"]: row for row in orders_rows}
-    expected = sum(1 for row in lineitem_rows if low <= row["shipdate"] <= high)
-    assert result.rows_matched == expected
+    assert result.rows_matched == expected_match_count(lineitem_rows)
     sample = result.rows[0]
     assert sample["orderdate"] == orders_by_key[sample["orderkey"]]["orderdate"]
     # The CM-driven outer path's rewritten SQL surfaces through the join.
     assert result.rewritten_sql is not None
+    # One probe per probe-side row lands in the shared counters.
+    assert result.join_probes > 0
+    # O(N + M): both inputs read at most once.
+    assert result.pages_visited <= (
+        db.table("lineitem").num_pages + db.table("orders").num_pages
+    )
+
+
+def test_limit_flips_selection_back_to_index_nested_loop(join_database):
+    db, _lineitem, _orders = join_database
+    # The hash build is upfront work a tiny LIMIT cannot scale away, while
+    # the probe pipeline streams -- so selection flips, exactly like the
+    # single-table upfront-vs-streaming regression.
+    plan = db.planner.choose_join(db.tables, join_query(), limit=10)
+    assert plan.method == "index_nested_loop_join"
 
 
 def test_join_limit_streams_without_exhausting_the_outer_scan(join_database):
     db, _lineitem, _orders = join_database
     lineitem = db.table("lineitem")
 
-    # Unforced: LIMIT-aware selection may trade the CM driver for a
-    # limit-terminated scan, but either way the outer sweep must stop early.
+    # Unforced: LIMIT-aware selection picks a streaming probe pipeline, and
+    # the outer sweep must stop early.
     before = lineitem.heap.logical_page_reads
     result = db.run_query(join_query(limit=10), cold_cache=True)
     outer_pages_read = lineitem.heap.logical_page_reads - before
     assert result.rows_matched == 10
+    assert result.rows_emitted == 10
     assert outer_pages_read < lineitem.num_pages
     assert result.rows_examined < lineitem.num_rows
     # The shared counters cover both inputs: at least one probe per emitted
@@ -103,15 +136,60 @@ def test_join_limit_streams_without_exhausting_the_outer_scan(join_database):
     assert outer_pages_read < lineitem.num_pages // 10
 
 
-def test_index_nested_loop_beats_nested_loop_baseline(join_database):
+def test_streaming_operators_beat_nested_loop_baseline(join_database):
     db, _lineitem, _orders = join_database
-    inl = db.run_query(join_query(), force_join="index_nested_loop_join", cold_cache=True)
     nl = db.run_query(join_query(), force_join="nested_loop_join", cold_cache=True)
-    assert inl.rows_matched == nl.rows_matched
-    assert inl.access_method == "index_nested_loop_join"
     assert nl.access_method == "nested_loop_join"
-    assert inl.elapsed_ms < nl.elapsed_ms / 3
-    assert inl.pages_visited < nl.pages_visited
+    for strategy in ("index_nested_loop_join", "hash_join", "sort_merge_join"):
+        result = db.run_query(join_query(), force_join=strategy, cold_cache=True)
+        assert result.access_method == strategy
+        assert result.rows_matched == nl.rows_matched
+        assert result.elapsed_ms < nl.elapsed_ms / 3
+        assert result.pages_visited < nl.pages_visited
+
+
+def test_unindexed_inner_join_reads_linear_not_quadratic_pages(
+    unindexed_join_database,
+):
+    """The ISSUE's acceptance case: O(N + M) pages instead of O(N * M).
+
+    ``orders`` is a bare heap -- no clustered index, no secondary index, no
+    CM -- so before the hash/sort-merge operators existed the *only* plan
+    was the nested-loop rescan, one full inner sweep per outer row.
+    """
+    db, lineitem_rows, _orders = unindexed_join_database
+    linear_budget = db.table("lineitem").num_pages + db.table("orders").num_pages
+    expected = expected_match_count(lineitem_rows)
+
+    # Planning still performs zero heap reads with the new candidates.
+    before_reads = total_heap_reads(db)
+    plans = db.planner.candidate_join_plans(db.tables, join_query())
+    best = db.planner.choose_join(db.tables, join_query())
+    assert total_heap_reads(db) == before_reads
+    # No probe structure exists, so every candidate is NLJ/HJ/SMJ-shaped.
+    assert all("index_nested_loop_join" not in plan.structure for plan in plans)
+    assert best.method == "hash_join"
+
+    hash_result = db.run_query(join_query(), cold_cache=True)
+    assert hash_result.access_method == "hash_join"
+    assert hash_result.rows_matched == expected
+    assert hash_result.pages_visited <= linear_budget
+
+    merge_result = db.run_query(
+        join_query(), force_join="sort_merge_join", cold_cache=True
+    )
+    assert merge_result.rows_matched == expected
+    assert merge_result.pages_visited <= linear_budget
+
+    nl_result = db.run_query(
+        join_query(), force_join="nested_loop_join", cold_cache=True
+    )
+    assert nl_result.rows_matched == expected
+    # The rescan reads the inner once per outer row: quadratic in the sense
+    # of O(outer_rows * inner_pages), orders of magnitude past linear.
+    assert nl_result.pages_visited > 10 * linear_budget
+    assert nl_result.pages_visited > 0.5 * expected * db.table("orders").num_pages
+    assert hash_result.elapsed_ms < nl_result.elapsed_ms / 10
 
 
 def test_cm_guided_inner_path_when_join_key_correlates_with_clustering():
@@ -120,10 +198,15 @@ def test_cm_guided_inner_path_when_join_key_correlates_with_clustering():
         ExperimentScale(0.5), cluster_orders_on="orderdate"
     )
     query = join_query()
-    best = db.planner.choose_join(db.tables, query)
-    assert best.method == "index_nested_loop_join"
-    assert "cm_orderkey" in best.structure
-    result = db.run_query(query, cold_cache=True)
-    low, high = SHIPDATE_WINDOW
-    expected = sum(1 for row in lineitem_rows if low <= row["shipdate"] <= high)
-    assert result.rows_matched == expected
+    # Among probe-style plans the CM-guided inner wins outright...
+    probe_plan = db.planner.choose_join(
+        db.tables, query, force_join="index_nested_loop_join"
+    )
+    assert "cm_orderkey" in probe_plan.structure
+    # ...and under a LIMIT the CM-guided probe pipeline wins cost-based
+    # selection against the blocking hash build.
+    limited = db.planner.choose_join(db.tables, query, limit=10)
+    assert limited.method == "index_nested_loop_join"
+    assert "cm_orderkey" in limited.structure
+    result = db.run_query(query, force_join="index_nested_loop_join", cold_cache=True)
+    assert result.rows_matched == expected_match_count(lineitem_rows)

@@ -186,7 +186,7 @@ def build_tpch_join_database(
     buffer_pool_pages: int = 1_500,
     tups_per_page: int = 60,
     orderdate_span_days: int = 365,
-    cluster_orders_on: str = "orderkey",
+    cluster_orders_on: str | None = "orderkey",
     orders_pages_per_bucket: int | None = 10,
     seek_scale: float = TPCH_SEEK_SCALE,
     seed: int = 7,
@@ -201,7 +201,10 @@ def build_tpch_join_database(
     * ``"orderkey"`` (default) -- join probes ride the clustered index;
     * ``"orderdate"`` -- the clustered key is the *date*; a CM on
       ``orderkey`` (correlated with ``orderdate`` by arrival order) gives
-      the planner a CM-guided inner path instead.
+      the planner a CM-guided inner path instead;
+    * ``None`` -- orders stays an unclustered, unindexed heap: the workload
+      that exposes the quadratic nested-loop fallback and that the hash /
+      sort-merge operators serve in O(N + M) pages.
 
     Returns ``(db, lineitem_rows, orders_rows)``.
     """
@@ -222,7 +225,8 @@ def build_tpch_join_database(
     db.create_correlation_map("lineitem", ["shipdate"], name="cm_shipdate")
     db.create_table("orders", sample_row=orders_rows[0], tups_per_page=tups_per_page)
     db.load("orders", orders_rows)
-    db.cluster("orders", cluster_orders_on, pages_per_bucket=orders_pages_per_bucket)
+    if cluster_orders_on is not None:
+        db.cluster("orders", cluster_orders_on, pages_per_bucket=orders_pages_per_bucket)
     if cluster_orders_on == "orderdate":
         db.create_correlation_map("orders", ["orderkey"], name="cm_orderkey")
     return db, lineitem_rows, orders_rows

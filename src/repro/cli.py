@@ -99,12 +99,18 @@ def _run_demo(limit: int | None = None, join: bool = False) -> int:
             "categories", on="catid"
         )
         print(f"\njoin: {joined.describe()}")
-        for force_join in ("nested_loop_join", "index_nested_loop_join"):
+        strategies = (
+            "nested_loop_join",
+            "index_nested_loop_join",
+            "hash_join",
+            "sort_merge_join",
+        )
+        for force_join in strategies:
             result = db.run_query(joined, force_join=force_join, cold_cache=True)
             print(
                 f"  {force_join:<23} rows={result.rows_matched:<5} "
                 f"{result.elapsed_ms:8.2f} ms simulated, "
-                f"{result.pages_visited} pages"
+                f"{result.pages_visited} pages, {result.join_probes} probes"
             )
         best = db.explain(joined)[0]
         print(f"  planner picks: {best['structure']}")

@@ -27,11 +27,17 @@ Two extensions grow the model beyond single-table selections:
 * :func:`nested_loop_join_cost` / :func:`index_nested_loop_join_cost` price
   pipelined joins as ``cost_outer + outer_rows * cost_per_inner_visit``,
   with the per-visit term taken from whichever single-lookup formula matches
-  the inner access structure.
+  the inner access structure;
+* :func:`hash_join_cost` / :func:`sort_merge_join_cost` price the streaming
+  set-at-a-time operators directly as :class:`CostSplit`\\ s: the hash-table
+  build and the explicit sorts are upfront work paid before the first row,
+  while the probe pass and the ordered merge sweep stream (and so scale
+  under a LIMIT, exactly like a single-table page sweep).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.core.model import CorrelationProfile, HardwareParameters, TableProfile
@@ -284,3 +290,96 @@ def index_nested_loop_join_cost(
     buckets instead of descending a fat secondary B+Tree.
     """
     return outer_cost_ms + max(0.0, est_outer_rows) * per_probe_cost_ms
+
+
+def sort_comparison_count(rows: float) -> float:
+    """The ``n log2 n`` comparison count of an in-memory sort of ``rows``.
+
+    Shared between the cost model (:func:`sort_merge_join_cost`, in ms) and
+    the executor (which charges the same count as CPU tuples to the disk
+    simulator), so the measured and modelled sort cost cannot drift apart.
+    """
+    rows = max(0.0, rows)
+    if rows < 2.0:
+        return 0.0
+    return rows * math.log2(rows)
+
+
+def _sort_cpu_ms(rows: float, hw: HardwareParameters) -> float:
+    """CPU cost of an in-memory comparison sort of ``rows`` rows."""
+    return sort_comparison_count(rows) * hw.cpu_tuple_cost_ms
+
+
+def hash_join_cost(
+    est_outer_rows: float,
+    est_inner_rows: float,
+    inner_profile: TableProfile,
+    hw: HardwareParameters,
+    *,
+    build_side: str = "inner",
+) -> CostSplit:
+    """Cost of one streaming hash-join step, decomposed for LIMIT awareness.
+
+    ``inner_profile`` describes the joined table, which is read exactly once
+    either way; the outer input's own cost is charged by whoever produced
+    the outer stream.  The build side is hashed row by row *upfront*, before
+    the first merged row can be emitted; the probe side then streams through
+    the memory-resident hash table at pure CPU cost per row, so the
+    streaming part scales under a LIMIT::
+
+        build_side="inner":  upfront   = cost_scan(inner) + inner_rows * cpu
+                             streaming = outer_rows * cpu
+        build_side="outer":  upfront   = outer_rows * cpu
+                             streaming = cost_scan(inner) + inner_rows * cpu
+
+    Building the sampled-smaller input is what "build the cheaper side"
+    means; either shape reads O(N + M) pages total -- the whole point versus
+    the quadratic nested-loop rescan.
+    """
+    if est_outer_rows < 0 or est_inner_rows < 0:
+        raise ValueError("row estimates must be non-negative")
+    if build_side not in ("inner", "outer"):
+        raise ValueError(f"unknown build side {build_side!r}")
+    inner_ms = scan_cost(inner_profile, hw) + est_inner_rows * hw.cpu_tuple_cost_ms
+    outer_ms = est_outer_rows * hw.cpu_tuple_cost_ms
+    if build_side == "inner":
+        return CostSplit(upfront_ms=inner_ms, streaming_ms=outer_ms)
+    return CostSplit(upfront_ms=outer_ms, streaming_ms=inner_ms)
+
+
+def sort_merge_join_cost(
+    est_outer_rows: float,
+    est_inner_rows: float,
+    inner_profile: TableProfile,
+    hw: HardwareParameters,
+    *,
+    inner_sorted: bool,
+    outer_sorted: bool = False,
+) -> CostSplit:
+    """Cost of one sort-merge join step, decomposed for LIMIT awareness.
+
+    Any input not already ordered by the join key is materialised and sorted
+    upfront (CPU ``n log n``; the inner additionally pays its scan, since an
+    explicit sort must read every inner page before the first merged row).
+    When the inner *is* pre-sorted -- its clustered attribute is the join
+    key -- the merge sweeps its heap pages in order as part of the streaming
+    phase, so a satisfied LIMIT abandons the sweep with the remaining inner
+    pages unread::
+
+        upfront   = sort(outer)? + (cost_scan(inner) + sort(inner))?
+        streaming = cost_scan(inner) if inner_sorted else merge CPU
+
+    As with :func:`hash_join_cost` the outer input's own cost is charged by
+    whoever produced the outer stream.
+    """
+    if est_outer_rows < 0 or est_inner_rows < 0:
+        raise ValueError("row estimates must be non-negative")
+    upfront = 0.0 if outer_sorted else _sort_cpu_ms(est_outer_rows, hw)
+    if inner_sorted:
+        streaming = scan_cost(inner_profile, hw)
+    else:
+        upfront += scan_cost(inner_profile, hw) + _sort_cpu_ms(est_inner_rows, hw)
+        streaming = 0.0
+    # The merge itself: one CPU charge per row of either input.
+    streaming += (est_outer_rows + est_inner_rows) * hw.cpu_tuple_cost_ms
+    return CostSplit(upfront_ms=upfront, streaming_ms=streaming)

@@ -22,10 +22,17 @@ from repro.storage.disk import DiskParameters
 
 @dataclass(frozen=True)
 class HardwareParameters:
-    """Disk timing constants of the experimental platform (Table 1)."""
+    """Disk timing constants of the experimental platform (Table 1).
+
+    ``cpu_tuple_cost_ms`` mirrors the disk model's per-tuple CPU charge; the
+    paper's selection formulas are disk bound and ignore it, but the join
+    cost model needs it to price in-memory work (hash-table builds and
+    probes, explicit sorts) that performs no I/O at all.
+    """
 
     seek_cost_ms: float = 5.5
     seq_page_cost_ms: float = 0.078
+    cpu_tuple_cost_ms: float = 0.0002
 
     @classmethod
     def from_disk(cls, params: DiskParameters) -> "HardwareParameters":
@@ -33,6 +40,7 @@ class HardwareParameters:
         return cls(
             seek_cost_ms=params.seek_cost_ms,
             seq_page_cost_ms=params.seq_page_cost_ms,
+            cpu_tuple_cost_ms=params.cpu_tuple_cost_ms,
         )
 
 

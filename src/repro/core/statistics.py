@@ -185,9 +185,14 @@ class IncrementalTableStatistics:
     * a reservoir row sample (:class:`~repro.sampling.reservoir.ReservoirSampler`)
       updated on every insert and delete -- exact while it still holds every
       live row, estimated (Adaptive Estimator) beyond that;
-    * per-attribute min/max updated on insert; deletes leave the bounds
-      conservatively wide (a shrinking domain only ever over-estimates the
-      lookup count, never under);
+    * per-attribute min/max updated on insert; a delete cannot cheaply tell
+      whether it removed an extreme value, so the bounds stay conservatively
+      wide until ``bounds_rebuild_deletes`` deletes have accumulated *and*
+      the reservoir still holds every live row, at which point they are
+      recomputed from it exactly.  Without that rebuild a shrinking table's
+      range selectivity would over-estimate forever; without the
+      completeness gate a subsample's interior extremes would clip the
+      bounds below the live domain and flip the error to under-estimation;
     * the live row count.
 
     Derived profiles are cached until the next insert/delete, so repeated
@@ -196,11 +201,22 @@ class IncrementalTableStatistics:
     """
 
     def __init__(
-        self, *, sample_capacity: int = DEFAULT_STATS_SAMPLE_SIZE, seed: int = 0
+        self,
+        *,
+        sample_capacity: int = DEFAULT_STATS_SAMPLE_SIZE,
+        seed: int = 0,
+        bounds_rebuild_deletes: int | None = None,
     ) -> None:
         if sample_capacity <= 0:
             raise ValueError("sample_capacity must be positive")
+        if bounds_rebuild_deletes is not None and bounds_rebuild_deletes <= 0:
+            raise ValueError("bounds_rebuild_deletes must be positive")
         self.sample_capacity = sample_capacity
+        self.bounds_rebuild_deletes = (
+            bounds_rebuild_deletes
+            if bounds_rebuild_deletes is not None
+            else max(64, sample_capacity // 100)
+        )
         self._seed = seed
         self._reset()
 
@@ -210,6 +226,9 @@ class IncrementalTableStatistics:
         self._minmax: dict[str, tuple[Any, Any]] = {}
         #: Attributes whose values turned out not to be mutually comparable.
         self._untracked: set[str] = set()
+        self._deletes_since_bounds_rebuild = 0
+        #: Whether any delete since the last rebuild hit a min/max value.
+        self._bounds_possibly_stale = False
         self._profile_cache: dict[tuple, CorrelationProfile] = {}
         self._cardinality_cache: dict[tuple, int] = {}
         self._selectivity_cache: dict[Any, float] = {}
@@ -226,8 +245,48 @@ class IncrementalTableStatistics:
     def observe_delete(self, row: Mapping[str, Any]) -> None:
         self._total_rows = max(0, self._total_rows - 1)
         self._reservoir.discard(row)
-        # min/max stay conservatively wide; a rebuild tightens them again.
+        # A single delete leaves min/max conservatively wide (we cannot know
+        # cheaply whether duplicates of an extreme remain), but enough churn
+        # re-derives them from the reservoir so Between selectivity tracks a
+        # shrinking domain.  Three gates keep the rebuild exact and cheap:
+        # the delete *count* threshold rate-limits the O(sample) pass, the
+        # *touched-a-bound* flag skips it entirely for interior-only churn
+        # (whose rebuild would be a no-op), and the *completeness* check
+        # refuses to clip bounds from a subsample whose extremes can sit
+        # strictly inside the live domain (that would turn the safe
+        # over-estimate into an under-estimate).
+        self._deletes_since_bounds_rebuild += 1
+        if not self._bounds_possibly_stale:
+            self._bounds_possibly_stale = self._touches_bound(row)
+        if (
+            self._bounds_possibly_stale
+            and self._deletes_since_bounds_rebuild >= self.bounds_rebuild_deletes
+            and self.sample_is_complete
+        ):
+            self._rebuild_bounds_from_sample()
         self._invalidate()
+
+    def _touches_bound(self, row: Mapping[str, Any]) -> bool:
+        """Whether deleting ``row`` may have shrunk any attribute's bounds."""
+        for attribute, value in row.items():
+            bounds = self._minmax.get(attribute)
+            if bounds is not None and (value == bounds[0] or value == bounds[1]):
+                return True
+        return False
+
+    def _rebuild_bounds_from_sample(self) -> None:
+        """Recompute per-attribute min/max from the (complete) reservoir.
+
+        Only called while the sample holds every live row, so the rebuilt
+        bounds are exact.  Attributes flagged as non-comparable stay
+        untracked.
+        """
+        self._minmax = {}
+        for row in self._reservoir.sample:
+            for attribute, value in row.items():
+                self._observe_value(attribute, value)
+        self._deletes_since_bounds_rebuild = 0
+        self._bounds_possibly_stale = False
 
     def rebuild(self, rows: Iterable[Mapping[str, Any]]) -> None:
         """Recompute from scratch (used by DDL that rewrites the heap anyway)."""

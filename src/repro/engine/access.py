@@ -51,12 +51,21 @@ from repro.storage.page import RID
 
 @dataclass
 class AccessResult:
-    """Rows produced by an access path plus its execution counters."""
+    """Rows produced by an access path plus its execution counters.
+
+    ``join_probes`` and ``rows_emitted`` mirror their
+    :class:`~repro.engine.executor.ExecutionCounters` fields so that join
+    EXPLAIN/ANALYZE-style reporting sees the probe work and the emission
+    count instead of under-reporting it (both are zero-filled for plain
+    single-table paths executed without a shared context).
+    """
 
     rows: list[dict[str, Any]] = field(default_factory=list)
     rows_examined: int = 0
     pages_visited: int = 0
     lookups: int = 0
+    join_probes: int = 0
+    rows_emitted: int = 0
     rewritten_sql: str | None = None
 
 

@@ -29,7 +29,7 @@ from repro.engine.planner import Planner
 from repro.engine.predicates import Predicate, PredicateSet
 from repro.engine.query import Query, QueryResult
 from repro.engine.schema import TableSchema
-from repro.engine.table import Table
+from repro.engine.table import BUCKET_COLUMN, Table
 from repro.engine.transactions import TransactionManager
 from repro.index.secondary import SecondaryIndex
 from repro.core.correlation_map import CorrelationMap
@@ -199,6 +199,8 @@ class Database:
             rows_examined=outcome.rows_examined,
             rows_matched=len(outcome.rows),
             pages_visited=outcome.pages_visited,
+            join_probes=outcome.join_probes,
+            rows_emitted=outcome.rows_emitted,
             io=io,
             elapsed_ms=io.elapsed_ms(self.disk.params),
             estimated_cost_ms=plan.estimated_cost_ms,
@@ -261,8 +263,43 @@ class Database:
         return self.planner.choose(self.table(query.table), query, force=force, limit=limit)
 
     def _validate_query(self, query: Query, projection: Sequence[str] | None) -> None:
-        """Check table names and the projection against the joined schemas."""
+        """Check table names, column collisions and the projection.
+
+        Merged join rows are ``{**outer, **inner}``, so a column name shared
+        by two tables in the chain would silently resolve to the inner
+        table's value unless it is a same-named join key (where both sides
+        agree by construction).  Rather than corrupt results quietly, any
+        other collision is rejected here with the ambiguous columns named;
+        engine-internal columns (the clustered bucket id) are exempt.
+        """
         chain = [self.table(name) for name in query.tables]
+        seen_columns = set(chain[0].schema.columns)
+        for table, spec in zip(chain[1:], query.joins):
+            if any(
+                left not in seen_columns or not table.schema.has_column(right)
+                for left, right in spec.on
+            ):
+                # An unresolvable join column: skip collision detection for
+                # this step and let the planner's _join_edges raise its
+                # canonical unknown-column error during planning.
+                seen_columns.update(table.schema.columns)
+                continue
+            shared_keys = {right for left, right in spec.on if left == right}
+            ambiguous = sorted(
+                column
+                for column in table.schema.columns
+                if column in seen_columns
+                and column not in shared_keys
+                and column != BUCKET_COLUMN
+            )
+            if ambiguous:
+                raise ValueError(
+                    f"ambiguous columns {ambiguous} joining {spec.table!r}: "
+                    "they exist on both sides but are not same-named join "
+                    "keys, so merged rows would silently take the inner "
+                    "table's value; rename the columns or join on them"
+                )
+            seen_columns.update(table.schema.columns)
         for column in projection or ():
             if not any(table.schema.has_column(column) for table in chain):
                 tables = ", ".join(table.name for table in chain)
@@ -277,8 +314,11 @@ class Database:
         ``structure`` spells out the left-deep pipeline, e.g.
         ``lineitem[cm_scan:cm_shipdate] -> index_nested_loop_join[orders
         (orderkey) via clustered(orderkey)]``.  The query's own LIMIT is
-        honoured, so the ranking matches what :meth:`run_query` selects.
+        honoured, so the ranking matches what :meth:`run_query` selects --
+        including its validation: a query :meth:`run_query` would reject
+        (ambiguous columns, unknown projection) fails here the same way.
         """
+        self._validate_query(query, query.projection)
         if query.joins:
             plans = self.planner.candidate_join_plans(
                 self.tables, query, limit=query.limit
@@ -295,7 +335,7 @@ class Database:
             }
             # The planner's rank, not raw cost: ties break by structure
             # preference, so the first entry is the plan selection picks.
-            for plan in sorted(plans, key=self.planner._plan_rank)
+            for plan in sorted(plans, key=self.planner.plan_rank)
         ]
 
     # -- DML with maintenance --------------------------------------------------------------

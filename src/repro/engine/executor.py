@@ -8,18 +8,25 @@ single set of counters through index probes, correlation-map lookups and the
 heap sweep kernel, and lets LIMIT terminate the sweep as soon as enough rows
 have been emitted -- no access path ever materialises the table.
 
-Multi-table queries compose the same pipelines: a join operator
-(:class:`NestedLoopJoin`, :class:`IndexNestedLoopJoin`) pulls rows from an
-outer source, binds each outer row's join-key values into a fresh inner
-access path, and streams the merged rows.  The operators are themselves row
-sources, so left-deep chains nest naturally: ``(A join B) join C`` is just a
-join operator whose outer source is another join operator.  Child pipelines
-run under :meth:`ExecutionContext.child` contexts that share the parent's
-:class:`ExecutionCounters` -- physical work on every input lands in one
-place -- while the LIMIT budget and the projection stay with the root: a
-satisfied LIMIT stops the operator from pulling further outer rows, which in
-turn abandons the outer generator mid-sweep, so the remaining outer pages
-are never read.
+Multi-table queries compose the same pipelines.  Two operator families
+exist, all of them row sources (so left-deep chains nest naturally:
+``(A join B) join C`` is just a join operator whose outer source is another
+join operator):
+
+* *tuple-at-a-time* probes (:class:`NestedLoopJoin`,
+  :class:`IndexNestedLoopJoin`) pull rows from the outer source and bind
+  each outer row's join-key values into a fresh inner access path;
+* *set-at-a-time* operators (:class:`HashJoin`, :class:`SortMergeJoin`)
+  read the inner input once -- a hash-table build, or an ordered merge --
+  and stream the other input through it, turning the quadratic unindexed
+  fallback into O(N + M) page reads.
+
+Child pipelines run under :meth:`ExecutionContext.child` contexts that share
+the parent's :class:`ExecutionCounters` -- physical work on every input
+lands in one place -- while the LIMIT budget and the projection stay with
+the root: a satisfied LIMIT stops the operator from pulling further probe
+rows, which in turn abandons the upstream generators mid-sweep, so the
+remaining pages are never read.
 
 ``AccessResult`` (in :mod:`repro.engine.access`) remains as the materialised
 view of one finished execution for callers that want all rows at once.
@@ -28,7 +35,7 @@ view of one finished execution for callers that want all rows at once.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Iterator, Mapping, Protocol, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping, Protocol, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.access import AccessResult
@@ -124,19 +131,22 @@ class ExecutionContext:
     def limit_reached(self) -> bool:
         return self.limit is not None and self.counters.rows_emitted >= self.limit
 
-    def emit(self, row: Mapping[str, Any]) -> dict[str, Any]:
+    def emit(self, row: Mapping[str, Any], *, fresh: bool = False) -> dict[str, Any]:
         """Count one output row and apply the projection.
 
         Root contexts copy the row: emitted rows reach callers (``stream``,
         ``QueryResult.rows``) who may mutate them, and handing out the live
         heap-page dict would corrupt the page, the indexes built over it and
-        the statistics sample.  Child contexts skip the copy -- their rows
-        only feed a join operator, which builds a fresh merged dict anyway.
+        the statistics sample.  Join operators pass ``fresh=True`` because
+        their merged ``{**outer, **inner}`` dict is already a private copy,
+        skipping a second per-row copy on the output hot path.  Child
+        contexts skip the copy too -- their rows only feed a parent
+        operator, which builds a fresh merged dict anyway.
         """
         if self.count_output:
             self.counters.rows_emitted += 1
             if self.projection is None:
-                return dict(row)
+                return row if fresh and isinstance(row, dict) else dict(row)
         if self.projection is None:
             return row if isinstance(row, dict) else dict(row)
         return {column: row[column] for column in self.projection}
@@ -173,33 +183,33 @@ def materialize(source: "RowSource", context: ExecutionContext | None = None):
         rows_examined=counters.rows_examined,
         pages_visited=counters.pages_visited,
         lookups=counters.lookups,
+        join_probes=counters.join_probes,
+        rows_emitted=counters.rows_emitted,
         rewritten_sql=context.rewritten_sql,
     )
 
 
 class JoinOperator:
-    """Base streaming equi-join: pull outer rows, probe the inner per row.
+    """Base streaming equi-join operator: a row source over an outer input.
 
-    ``source`` is the outer input (an access path or another join operator);
-    ``probe`` builds, for each outer row, a fresh inner access path with the
-    join-key equalities bound as predicates (see
-    :class:`repro.engine.access.InnerPathBuilder`).  Because the bound
-    equalities are ordinary predicates, the inner path both *finds* matches
-    (via an index, a CM, or a residual-filtered scan) and *verifies* them --
-    the operator itself only merges rows.
+    ``source`` is the outer input (an access path or another join operator).
+    Subclasses implement :meth:`_stream`, pulling from the outer source and
+    from whatever inner input they own under :meth:`ExecutionContext.child`
+    contexts, so the physical work of every input lands in the one shared
+    counter set.
 
-    Merged rows are ``{**outer, **inner}``; on the join keys both sides agree
-    by construction, and other same-named columns (which :meth:`Query.join`
-    cannot distinguish anyway) resolve to the inner table's value.
+    Merged rows are ``{**outer, **inner}``; on the join keys both sides
+    agree by construction, and :meth:`repro.engine.database.Database` rejects
+    queries whose joined schemas would make any *other* column ambiguous, so
+    the merge never silently resolves a real collision.
     """
 
     name = "join"
     #: The inner strategy this operator was planned with (for EXPLAIN).
     strategy = ""
 
-    def __init__(self, source: "RowSource", probe: "InnerProbe") -> None:
+    def __init__(self, source: "RowSource") -> None:
         self.source = source
-        self.probe = probe
 
     # -- streaming interface --------------------------------------------------
 
@@ -213,32 +223,32 @@ class JoinOperator:
         yield from self._stream(context)
 
     def _stream(self, context: ExecutionContext) -> Iterator[dict[str, Any]]:
-        outer_context = context.child()
-        try:
-            for outer_row in self.source.iter_rows(outer_context):
-                context.counters.join_probes += 1
-                inner_path = self.probe.bind(outer_row)
-                inner_context = context.child()
-                inner_context.report_rewritten_sql = False
-                for inner_row in inner_path.iter_rows(inner_context):
-                    yield context.emit({**outer_row, **inner_row})
-                    if context.limit_reached:
-                        return
-        finally:
-            # A CM-driven outer path writes its rewritten SQL onto the child
-            # context; surface it on the root so join results report it the
-            # way single-table CM scans do (nested joins bubble it up).
-            if context.rewritten_sql is None:
-                context.rewritten_sql = outer_context.rewritten_sql
+        raise NotImplementedError
+
+    def _bubble_rewritten_sql(
+        self, context: ExecutionContext, outer_context: ExecutionContext
+    ) -> None:
+        """Surface a CM-driven outer path's rewritten SQL on the root context.
+
+        The outer path writes its rewritten SQL onto the child context it
+        runs under; copying it up makes join results report it the way
+        single-table CM scans do (nested joins bubble it all the way up).
+        """
+        if context.rewritten_sql is None:
+            context.rewritten_sql = outer_context.rewritten_sql
 
     def execute(self, context: ExecutionContext | None = None) -> "AccessResult":
         """Materialise the stream into an :class:`AccessResult` (compatibility)."""
         return materialize(self, context)
 
+    def describe_detail(self) -> str:
+        """The inner-input summary shown inside EXPLAIN structure labels."""
+        return self.strategy
+
     def describe(self) -> str:
         source = getattr(self.source, "describe", self.source.__class__.__name__)
         source_text = source() if callable(source) else str(source)
-        return f"{source_text} -> {self.name}[{self.probe.describe()}]"
+        return f"{source_text} -> {self.name}[{self.describe_detail()}]"
 
 
 class InnerProbe(Protocol):
@@ -249,20 +259,55 @@ class InnerProbe(Protocol):
     def describe(self) -> str: ...  # pragma: no cover - protocol
 
 
-class NestedLoopJoin(JoinOperator):
+class ProbeJoin(JoinOperator):
+    """Tuple-at-a-time join: pull outer rows, probe the inner per row.
+
+    ``probe`` builds, for each outer row, a fresh inner access path with the
+    join-key equalities bound as predicates (see
+    :class:`repro.engine.access.InnerPathBuilder`).  Because the bound
+    equalities are ordinary predicates, the inner path both *finds* matches
+    (via an index, a CM, or a residual-filtered scan) and *verifies* them --
+    the operator itself only merges rows.
+    """
+
+    def __init__(self, source: "RowSource", probe: "InnerProbe") -> None:
+        super().__init__(source)
+        self.probe = probe
+
+    def _stream(self, context: ExecutionContext) -> Iterator[dict[str, Any]]:
+        outer_context = context.child()
+        try:
+            for outer_row in self.source.iter_rows(outer_context):
+                context.counters.join_probes += 1
+                inner_path = self.probe.bind(outer_row)
+                inner_context = context.child()
+                inner_context.report_rewritten_sql = False
+                for inner_row in inner_path.iter_rows(inner_context):
+                    yield context.emit({**outer_row, **inner_row}, fresh=True)
+                    if context.limit_reached:
+                        return
+        finally:
+            self._bubble_rewritten_sql(context, outer_context)
+
+    def describe_detail(self) -> str:
+        return self.probe.describe()
+
+
+class NestedLoopJoin(ProbeJoin):
     """Naive nested loops: re-scan the inner table for every outer row.
 
     The inner path is a sequential scan with the bound join keys applied as
-    residual filters, so each outer row costs a full inner sweep -- the
-    fallback when the inner table offers no useful access structure (or is
-    tiny enough that rescans beat index descents).
+    residual filters, so each outer row costs a full inner sweep -- O(N*M)
+    page reads, kept only as the strategy of last resort (or for tiny inners
+    whose rescans stay buffer-pool resident) now that :class:`HashJoin` and
+    :class:`SortMergeJoin` cover the unindexed case in O(N + M).
     """
 
     name = "nested_loop_join"
     strategy = "seq_scan"
 
 
-class IndexNestedLoopJoin(JoinOperator):
+class IndexNestedLoopJoin(ProbeJoin):
     """Index nested loops: probe an inner access structure per outer row.
 
     The probe binds ``Equals(inner_key, outer_value)`` predicates and runs
@@ -279,3 +324,297 @@ class IndexNestedLoopJoin(JoinOperator):
     def __init__(self, source: "RowSource", probe: "InnerProbe", strategy: str) -> None:
         super().__init__(source, probe)
         self.strategy = strategy
+
+
+def _key_getter(columns: Sequence[str]):
+    """A function extracting the (tuple) join key of one row."""
+    columns = tuple(columns)
+
+    def key_of(row: Mapping[str, Any]) -> tuple[Any, ...]:
+        return tuple(row[column] for column in columns)
+
+    return key_of
+
+
+def _charge_cpu(path: "RowSource", tuples: int) -> None:
+    """Charge in-operator CPU work to the simulated disk.
+
+    Hash builds/probes and explicit sorts do per-row work that never touches
+    a page; charging it (through the inner path's table, which reaches the
+    shared disk model) keeps measured ``elapsed_ms`` aligned with what
+    ``hash_join_cost``/``sort_merge_join_cost`` price, exactly as access
+    paths charge CPU per examined row.
+    """
+    table = getattr(path, "table", None)
+    if table is not None and tuples > 0:
+        table.buffer_pool.disk.charge_cpu_tuples(tuples)
+
+
+def _sort_cpu_tuples(rows: int) -> int:
+    """The comparison count an explicit sort is charged as (cost-model's)."""
+    from repro.core.cost import sort_comparison_count
+
+    return int(sort_comparison_count(rows))
+
+
+def _ordering_key_getter(columns: Sequence[str]):
+    """A join-key extractor whose keys also order in the presence of None.
+
+    Equality between wrapped keys is exactly raw-value equality (so merge
+    matching agrees with the hash and nested-loop operators, where
+    ``None == None`` matches), but ordering comparisons never reach a
+    ``None < value`` — rows with NULL keys simply sort after everything
+    else instead of crashing the merge.
+    """
+    columns = tuple(columns)
+
+    def key_of(row: Mapping[str, Any]) -> tuple[Any, ...]:
+        return tuple(
+            (row[column] is None, row[column]) for column in columns
+        )
+
+    return key_of
+
+
+class HashJoin(JoinOperator):
+    """Streaming hash join: build one side's hash table, stream the other.
+
+    ``inner_path`` is an access path over the joined table (a sequential
+    scan carrying the table's local predicates).  ``build_side`` picks which
+    input is hashed -- the planner chooses the side with fewer sampled rows:
+
+    * ``"inner"`` -- the inner table is scanned once into a hash table on
+      its join-key columns, then *outer* rows stream through it.  The outer
+      stays fully pipelined, so a satisfied LIMIT stops pulling outer rows
+      exactly as the probe joins do.
+    * ``"outer"`` -- the outer input is drained into the hash table and the
+      *inner* table streams through it; a satisfied LIMIT abandons the inner
+      sweep with the remaining inner pages unread.
+
+    Either way each input is read exactly once -- O(N + M) page reads,
+    versus the nested-loop rescan's O(N*M).  An empty build side short-
+    circuits: the probe side is never read at all.
+    """
+
+    name = "hash_join"
+    strategy = "hash"
+
+    def __init__(
+        self,
+        source: "RowSource",
+        inner_path: "RowSource",
+        join_on: Sequence[tuple[str, str]],
+        *,
+        build_side: str = "inner",
+        inner_label: str = "",
+    ) -> None:
+        if build_side not in ("inner", "outer"):
+            raise ValueError(f"unknown build side {build_side!r}")
+        super().__init__(source)
+        self.inner_path = inner_path
+        self.join_on = tuple(join_on)
+        self.build_side = build_side
+        self.inner_label = inner_label
+        self._outer_key = _key_getter([outer for outer, _inner in self.join_on])
+        self._inner_key = _key_getter([inner for _outer, inner in self.join_on])
+
+    def _stream(self, context: ExecutionContext) -> Iterator[dict[str, Any]]:
+        if self.build_side == "inner":
+            yield from self._stream_build_inner(context)
+        else:
+            yield from self._stream_build_outer(context)
+
+    def _stream_build_inner(self, context: ExecutionContext) -> Iterator[dict[str, Any]]:
+        build_context = context.child()
+        build_context.report_rewritten_sql = False
+        table: dict[tuple[Any, ...], list[Mapping[str, Any]]] = {}
+        build_rows = 0
+        for row in self.inner_path.iter_rows(build_context):
+            table.setdefault(self._inner_key(row), []).append(row)
+            build_rows += 1
+        _charge_cpu(self.inner_path, build_rows)
+        if not table:
+            return  # empty build side: never pull a single probe row
+        outer_context = context.child()
+        probe_rows = 0
+        try:
+            for outer_row in self.source.iter_rows(outer_context):
+                context.counters.join_probes += 1
+                probe_rows += 1
+                for inner_row in table.get(self._outer_key(outer_row), ()):
+                    yield context.emit({**outer_row, **inner_row}, fresh=True)
+                    if context.limit_reached:
+                        return
+        finally:
+            _charge_cpu(self.inner_path, probe_rows)
+            self._bubble_rewritten_sql(context, outer_context)
+
+    def _stream_build_outer(self, context: ExecutionContext) -> Iterator[dict[str, Any]]:
+        outer_context = context.child()
+        table: dict[tuple[Any, ...], list[Mapping[str, Any]]] = {}
+        build_rows = 0
+        try:
+            for outer_row in self.source.iter_rows(outer_context):
+                table.setdefault(self._outer_key(outer_row), []).append(outer_row)
+                build_rows += 1
+        finally:
+            _charge_cpu(self.inner_path, build_rows)
+            self._bubble_rewritten_sql(context, outer_context)
+        if not table:
+            return
+        probe_context = context.child()
+        probe_context.report_rewritten_sql = False
+        probe_rows = 0
+        try:
+            for inner_row in self.inner_path.iter_rows(probe_context):
+                context.counters.join_probes += 1
+                probe_rows += 1
+                for outer_row in table.get(self._inner_key(inner_row), ()):
+                    yield context.emit({**outer_row, **inner_row}, fresh=True)
+                    if context.limit_reached:
+                        return
+        finally:
+            _charge_cpu(self.inner_path, probe_rows)
+
+    def describe_detail(self) -> str:
+        keys = ", ".join(inner for _outer, inner in self.join_on)
+        label = self.inner_label or self.inner_path.__class__.__name__
+        return f"{label}({keys}) hash build={self.build_side}"
+
+
+class SortMergeJoin(JoinOperator):
+    """Sort-merge join: merge the two inputs in join-key order.
+
+    ``inner_path`` is an access path over the joined table.  Pre-sorted
+    inputs merge directly: ``inner_sorted=True`` declares that the inner
+    path already yields rows in join-key order (its clustered attribute *is*
+    the join key and the heap has no unsorted tail), so the merge sweeps its
+    pages lazily and a satisfied LIMIT abandons the sweep early.
+    ``outer_sorted`` declares the same of the outer input (a scan of a table
+    clustered on the outer join column).  Any side not declared sorted is
+    materialised and explicitly sorted first -- the planner charges that
+    sort from sampled row counts, which is what steers it towards the
+    smaller side / a hash join when nothing is pre-ordered.
+
+    Duplicate keys merge as group cross-products, so all-duplicate inputs
+    degrade gracefully to the full cartesian block rather than losing rows.
+    """
+
+    name = "sort_merge_join"
+    strategy = "merge"
+
+    def __init__(
+        self,
+        source: "RowSource",
+        inner_path: "RowSource",
+        join_on: Sequence[tuple[str, str]],
+        *,
+        inner_sorted: bool = False,
+        outer_sorted: bool = False,
+        inner_label: str = "",
+    ) -> None:
+        super().__init__(source)
+        self.inner_path = inner_path
+        self.join_on = tuple(join_on)
+        self.inner_sorted = inner_sorted
+        self.outer_sorted = outer_sorted
+        self.inner_label = inner_label
+        self._outer_key = _ordering_key_getter(
+            [outer for outer, _inner in self.join_on]
+        )
+        self._inner_key = _ordering_key_getter(
+            [inner for _outer, inner in self.join_on]
+        )
+
+    def _stream(self, context: ExecutionContext) -> Iterator[dict[str, Any]]:
+        outer_context = context.child()
+        try:
+            outer_rows: Iterable[Mapping[str, Any]]
+            if self.outer_sorted:
+                # Lazy: the outer already streams in key order, so the merge
+                # pulls outer rows on demand and a satisfied LIMIT stops the
+                # outer sweep exactly as the probe joins do.
+                outer_rows = self.source.iter_rows(outer_context)
+            else:
+                outer_rows = sorted(
+                    self.source.iter_rows(outer_context), key=self._outer_key
+                )
+                if not outer_rows:
+                    return  # nothing to merge: the inner is never read
+                _charge_cpu(self.inner_path, _sort_cpu_tuples(len(outer_rows)))
+            inner_context = context.child()
+            inner_context.report_rewritten_sql = False
+
+            def inner_in_key_order() -> Iterator[Mapping[str, Any]]:
+                if self.inner_sorted:
+                    # Heap order is key order: pull inner pages on demand,
+                    # so early termination leaves the rest unread.
+                    return self.inner_path.iter_rows(inner_context)
+                rows = sorted(
+                    self.inner_path.iter_rows(inner_context), key=self._inner_key
+                )
+                _charge_cpu(self.inner_path, _sort_cpu_tuples(len(rows)))
+                return iter(rows)
+
+            yield from self._merge(outer_rows, inner_in_key_order, context)
+        finally:
+            self._bubble_rewritten_sql(context, outer_context)
+
+    def _merge(
+        self,
+        outer_rows: Iterable[Mapping[str, Any]],
+        inner_in_key_order,
+        context: ExecutionContext,
+    ) -> Iterator[dict[str, Any]]:
+        from itertools import groupby
+
+        sentinel = object()
+        inner_iter: Iterator[Mapping[str, Any]] | None = None
+        inner_row: Any = sentinel
+        inner_key: Any = None
+        merged_rows = 0
+
+        def advance() -> None:
+            # One key construction per inner row, cached across the outer
+            # groups that compare against the same parked row.
+            nonlocal inner_row, inner_key, merged_rows
+            inner_row = next(inner_iter, sentinel)
+            if inner_row is not sentinel:
+                inner_key = self._inner_key(inner_row)
+                merged_rows += 1
+
+        try:
+            for key, group in groupby(outer_rows, key=self._outer_key):
+                outer_group = list(group)
+                context.counters.join_probes += len(outer_group)
+                merged_rows += len(outer_group)
+                if inner_iter is None:
+                    # The inner input is opened (and, if unsorted,
+                    # materialised and sorted) only once the outer proved
+                    # non-empty, so an empty outer never reads the inner.
+                    inner_iter = inner_in_key_order()
+                    advance()
+                while inner_row is not sentinel and inner_key < key:
+                    advance()
+                if inner_row is sentinel:
+                    return
+                inner_group: list[Mapping[str, Any]] = []
+                while inner_row is not sentinel and inner_key == key:
+                    inner_group.append(inner_row)
+                    advance()
+                for outer_row in outer_group:
+                    for matched in inner_group:
+                        yield context.emit({**outer_row, **matched}, fresh=True)
+                        if context.limit_reached:
+                            return
+        finally:
+            # The merge compares each consumed row once; charge that CPU.
+            _charge_cpu(self.inner_path, merged_rows)
+
+    def describe_detail(self) -> str:
+        keys = ", ".join(inner for _outer, inner in self.join_on)
+        sorts = [] if self.outer_sorted else ["outer"]
+        if not self.inner_sorted:
+            sorts.append("inner")
+        label = self.inner_label or self.inner_path.__class__.__name__
+        return f"{label}({keys}) merge sort={'+'.join(sorts) or 'none'}"

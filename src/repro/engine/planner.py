@@ -11,9 +11,14 @@ are costed for ``min(limit, estimated_result_rows)`` output rows.
 For multi-table queries the planner enumerates left-deep join orders over
 the query's equi-join graph.  Each order starts from the cheapest access
 path of its driving table and adds one pipelined join step per remaining
-table; every step considers a naive nested-loop inner (sequential rescan)
-and every applicable index-nested-loop inner -- clustered index, secondary
-B+Tree, or correlation map.  The CM inner path is the paper's central idea
+table; every step considers a naive nested-loop inner (sequential rescan),
+every applicable index-nested-loop inner -- clustered index, secondary
+B+Tree, or correlation map -- plus the set-at-a-time operators that cover
+the unindexed case in O(N + M) pages: a streaming hash join (building the
+sampled-smaller input's hash table) and a sort-merge join (merging for free
+when an input already streams in join-key order, spilling to an explicit
+sort charged from sampled row counts otherwise).  The CM inner path is the
+paper's central idea
 applied across tables: when the join key is correlated with the inner
 table's clustered key, each probe resolves through the tiny memory-resident
 CM into a couple of clustered buckets instead of a B+Tree descent per
@@ -36,11 +41,13 @@ from repro.core.cost import (
     CostSplit,
     cm_lookup_cost,
     cm_lookup_cost_split,
+    hash_join_cost,
     index_nested_loop_join_cost,
     limited_cost,
     nested_loop_join_cost,
     pipelined_lookup_cost,
     scan_cost,
+    sort_merge_join_cost,
     sorted_lookup_cost,
     sorted_lookup_cost_split,
 )
@@ -55,7 +62,13 @@ from repro.engine.access import (
     SeqScan,
     SortedIndexScan,
 )
-from repro.engine.executor import IndexNestedLoopJoin, JoinOperator, NestedLoopJoin
+from repro.engine.executor import (
+    HashJoin,
+    IndexNestedLoopJoin,
+    JoinOperator,
+    NestedLoopJoin,
+    SortMergeJoin,
+)
 from repro.engine.predicates import Between, Equals, InSet, PredicateSet
 from repro.engine.query import Query
 from repro.engine.table import Table
@@ -70,7 +83,20 @@ FORCE_METHODS = (
 )
 
 #: Names accepted by ``force_join=`` arguments.
-FORCE_JOIN_METHODS = ("nested_loop_join", "index_nested_loop_join")
+FORCE_JOIN_METHODS = (
+    "nested_loop_join",
+    "index_nested_loop_join",
+    "hash_join",
+    "sort_merge_join",
+)
+
+#: Operator class implementing each forced join strategy.
+_FORCE_JOIN_OPERATORS = {
+    "nested_loop_join": NestedLoopJoin,
+    "index_nested_loop_join": IndexNestedLoopJoin,
+    "hash_join": HashJoin,
+    "sort_merge_join": SortMergeJoin,
+}
 
 
 @dataclass
@@ -302,7 +328,7 @@ class Planner:
             if not matching:
                 raise ValueError(f"no applicable plan for forced method {force!r}")
             return min(matching, key=lambda plan: plan.estimated_cost_ms)
-        return min(plans, key=self._plan_rank)
+        return min(plans, key=self.plan_rank)
 
     def _pipelined_plan(self, table: Table, predicates: PredicateSet) -> PlannedAccess | None:
         """The pipelined variant of the cheapest applicable sorted-index plan.
@@ -336,7 +362,13 @@ class Planner:
         "seq_scan": 3,
     }
 
-    def _plan_rank(self, plan: PlannedAccess) -> tuple[float, int]:
+    def plan_rank(self, plan: PlannedAccess) -> tuple[float, int]:
+        """The selection sort key: cost first, structure preference on ties.
+
+        Public because ``Database.explain`` sorts its candidate listing with
+        the same key, guaranteeing its first entry is the plan selection
+        picks.
+        """
         return (plan.estimated_cost_ms, self._METHOD_PREFERENCE.get(plan.method, 9))
 
     # -- join planning ---------------------------------------------------------------
@@ -351,14 +383,16 @@ class Planner:
     ) -> list[PlannedAccess]:
         """Left-deep join plans for ``query``, one per (order, strategy) shape.
 
-        For every connected left-deep order of the join graph, up to three
+        For every connected left-deep order of the join graph, up to five
         candidate shapes are produced: the cheapest strategy per step (which
-        picks an index-nested-loop inner whenever one beats rescanning), the
-        pure nested-loop shape (the baseline the benchmarks force), and the
-        pure index-nested-loop shape (when every inner table offers a probe
-        structure).  ``force`` pins the driving table's access method.  All
-        cardinalities come from reservoir samples; enumeration never reads a
-        heap page.
+        picks whichever of rescanning, index probes, a hash build or an
+        ordered merge the cost model prefers), plus the four pure shapes --
+        all-nested-loop (the quadratic baseline the benchmarks force),
+        all-index-nested-loop (when every inner table offers a probe
+        structure), all-hash and all-sort-merge (always applicable: the
+        unindexed fallbacks).  ``force`` pins the driving table's access
+        method.  All cardinalities come from reservoir samples; enumeration
+        never reads a heap page.
         """
         edges = self._join_edges(tables, query)
         orders = self._left_deep_orders(query.tables, edges)
@@ -369,13 +403,14 @@ class Planner:
             )
         plans: list[PlannedAccess] = []
         seen: set[str] = set()
+        selectors = ("best", *FORCE_JOIN_METHODS)
         for order in orders:
             analysis = self._analyze_order(
                 tables, query, order, edges, force=force, limit=limit
             )
             if analysis is None:
                 continue
-            for selector in ("best", "nested_loop_join", "index_nested_loop_join"):
+            for selector in selectors:
                 plan = self._build_order_plan(analysis, selector, limit)
                 if plan is not None and plan.structure not in seen:
                     seen.add(plan.structure)
@@ -398,15 +433,16 @@ class Planner:
         ``force_join`` restricts plans by their *step composition*, not just
         the root operator: ``"nested_loop_join"`` keeps only plans whose
         every step rescans the inner sequentially, ``"index_nested_loop_
-        join"`` only plans whose every step probes an access structure (so a
-        mixed chain satisfies neither baseline).  ``force`` pins the driving
-        table's access method, as for single-table queries.
+        join"`` only plans whose every step probes an access structure,
+        ``"hash_join"``/``"sort_merge_join"`` only plans built entirely from
+        that operator (so a mixed chain satisfies no baseline).  ``force``
+        pins the driving table's access method, as for single-table queries.
         """
         if force_join is not None and force_join not in FORCE_JOIN_METHODS:
             raise ValueError(f"unknown join method {force_join!r}")
         plans = self.candidate_join_plans(tables, query, force=force, limit=limit)
         if force_join is not None:
-            wanted = NestedLoopJoin if force_join == "nested_loop_join" else IndexNestedLoopJoin
+            wanted = _FORCE_JOIN_OPERATORS[force_join]
             plans = [
                 plan
                 for plan in plans
@@ -593,6 +629,11 @@ class Planner:
                 self._outer_key_cardinality(tables, pairs),
                 float(table.key_cardinality(inner_columns)),
             )
+            selectivity = (
+                table.statistics.match_fraction(local.matches, key=tuple(local))
+                if local
+                else 1.0
+            )
             steps.append(
                 _JoinStep(
                     table=table,
@@ -600,10 +641,15 @@ class Planner:
                     local=local,
                     options=self._inner_strategy_options(table, inner_columns),
                     fanout=fanout,
-                    selectivity=(
-                        table.statistics.match_fraction(local.matches, key=tuple(local))
-                        if local
-                        else 1.0
+                    selectivity=selectivity,
+                    est_inner_rows=table.num_rows * selectivity,
+                    # Heap order *is* join-key order when the single join
+                    # column is the clustered attribute and no unsorted tail
+                    # has grown -- the case a sort-merge join merges for free.
+                    inner_sorted=(
+                        len(inner_columns) == 1
+                        and table.clustered_attribute == inner_columns[0]
+                        and not table.tail_pages()
                     ),
                 )
             )
@@ -624,76 +670,217 @@ class Planner:
         driving_predicates = self._local_predicates(query, order[0])
         if force == "pipelined_index_scan":
             driving_plan = self._pipelined_plan(driving, driving_predicates)
+            driving_unlimited = driving_plan
         else:
-            driving_plan = min(
-                (
-                    plan
-                    for plan in self._candidate_scan_plans(
-                        driving, driving_predicates, limit=driver_limit
-                    )
-                    if force is None or plan.method == force
-                ),
-                key=self._plan_rank,
-                default=None,
+
+            def cheapest(effective_limit: int | None) -> PlannedAccess | None:
+                return min(
+                    (
+                        plan
+                        for plan in self._candidate_scan_plans(
+                            driving, driving_predicates, limit=effective_limit
+                        )
+                        if force is None or plan.method == force
+                    ),
+                    key=self.plan_rank,
+                    default=None,
+                )
+
+            driving_plan = cheapest(driver_limit)
+            # A shape whose blocking step (hash build of the outer, explicit
+            # merge sort) drains the whole outer cannot lean on the
+            # LIMIT-scaled driver: it gets the honest full-drain plan.
+            driving_unlimited = (
+                driving_plan if driver_limit is None else cheapest(None)
             )
-        if driving_plan is None:
+        if driving_plan is None or driving_unlimited is None:
             return None  # the forced method is inapplicable to this order's driver
+        # Sweep-style driving paths emit rows in heap (= clustered) order, so
+        # a first-step sort-merge join can skip its outer sort when the
+        # driver is clustered on that step's single outer join column.
+        outer_sorted = False
+        if steps and len(steps[0].join_on) == 1:
+            outer_column = steps[0].join_on[0][0]
+            outer_sorted = (
+                driving.clustered_attribute == outer_column
+                and not driving.tail_pages()
+                and not isinstance(driving_plan.path, PipelinedIndexScan)
+            )
         return _OrderAnalysis(
-            driving_label=f"{order[0]}[{driving_plan.method}:{driving_plan.structure}]",
+            driving_name=order[0],
             driving_plan=driving_plan,
+            driving_unlimited=driving_unlimited,
             driving_rows=driving.estimate_matching_rows(driving_predicates),
             steps=steps,
+            first_step_outer_sorted=outer_sorted,
         )
+
+    def _step_candidates(
+        self, step: "_JoinStep", est_rows: float, outer_sorted: bool
+    ) -> list["_StepCandidate"]:
+        """Every operator the cost model can run this step with, costed.
+
+        Probe-family candidates (nested-loop rescan, index-nested-loop) are
+        per-outer-row work, so their whole cost is streaming; the hash build
+        and the explicit merge sorts are upfront (paid before the first
+        merged row), which is exactly what lets a binding LIMIT steer
+        selection back towards the probe operators for tiny result budgets.
+        """
+        candidates: list[_StepCandidate] = []
+        for strategy, per_probe, index, cm in step.options:
+            if strategy == "seq_scan":
+                cost = nested_loop_join_cost(
+                    0.0, est_rows, step.table.table_profile(), self.hardware
+                )
+            else:
+                cost = index_nested_loop_join_cost(0.0, est_rows, per_probe)
+            candidates.append(
+                _StepCandidate(
+                    kind="probe",
+                    strategy=strategy,
+                    split=CostSplit(0.0, cost),
+                    index=index,
+                    cm=cm,
+                )
+            )
+        # Hash join: build the sampled-smaller input's hash table.  Building
+        # the outer blocks its stream (LIMIT can no longer terminate the
+        # inputs upstream of this step), which the shape costing accounts
+        # for through ``blocks_outer``.
+        build_side = "inner" if step.est_inner_rows <= est_rows else "outer"
+        candidates.append(
+            _StepCandidate(
+                kind="hash",
+                strategy="hash",
+                split=hash_join_cost(
+                    est_rows,
+                    step.est_inner_rows,
+                    step.table.table_profile(),
+                    self.hardware,
+                    build_side=build_side,
+                ),
+                build_side=build_side,
+                blocks_outer=build_side == "outer",
+            )
+        )
+        candidates.append(
+            _StepCandidate(
+                kind="merge",
+                strategy="merge",
+                split=sort_merge_join_cost(
+                    est_rows,
+                    step.est_inner_rows,
+                    step.table.table_profile(),
+                    self.hardware,
+                    inner_sorted=step.inner_sorted,
+                    outer_sorted=outer_sorted,
+                ),
+                outer_sorted=outer_sorted,
+                blocks_outer=not outer_sorted,
+            )
+        )
+        return candidates
 
     def _build_order_plan(
         self, analysis: "_OrderAnalysis", selector: str, limit: int | None
     ) -> PlannedAccess | None:
         """One strategy shape over a pre-analyzed order (``selector`` picks)."""
-        step_cost = 0.0
+        chosen_steps: list[_StepCandidate] = []
         est_rows = analysis.driving_rows
-        parts = [analysis.driving_label]
-        source: AccessPath | JoinOperator = analysis.driving_plan.path
-
-        for step in analysis.steps:
-            options = step.options
+        for position, step in enumerate(analysis.steps):
+            outer_sorted = position == 0 and analysis.first_step_outer_sorted
+            candidates = self._step_candidates(step, est_rows, outer_sorted)
             if selector == "nested_loop_join":
-                options = [opt for opt in options if opt[0] == "seq_scan"]
+                candidates = [c for c in candidates if c.strategy == "seq_scan"]
             elif selector == "index_nested_loop_join":
-                options = [opt for opt in options if opt[0] != "seq_scan"]
-                if not options:
+                candidates = [
+                    c for c in candidates if c.kind == "probe" and c.strategy != "seq_scan"
+                ]
+                if not candidates:
                     return None  # no probe structure on this inner table
-            strategy, per_probe, index, cm = min(options, key=lambda opt: opt[1])
-
-            if strategy == "seq_scan":
-                step_cost = nested_loop_join_cost(
-                    step_cost, est_rows, step.table.table_profile(), self.hardware
-                )
-            else:
-                step_cost = index_nested_loop_join_cost(step_cost, est_rows, per_probe)
-
-            builder = InnerPathBuilder(
-                step.table, step.join_on, step.local, strategy, index=index, cm=cm
-            )
-            if strategy == "seq_scan":
-                source = NestedLoopJoin(source, builder)
-            else:
-                source = IndexNestedLoopJoin(source, builder, strategy)
-            parts.append(f"{source.name}[{builder.describe()}]")
+            elif selector == "hash_join":
+                candidates = [c for c in candidates if c.kind == "hash"]
+            elif selector == "sort_merge_join":
+                candidates = [c for c in candidates if c.kind == "merge"]
+            chosen_steps.append(min(candidates, key=lambda c: c.split.total_ms))
             est_rows = est_rows * step.fanout * step.selectivity
 
-        # The driving plan was already costed under its share of the LIMIT
-        # (see _analyze_order); the join steps are per-outer-row streaming
-        # work, so a binding LIMIT scales them by the emitted fraction.
+        # A blocking step (hash build of the outer, explicit merge sort)
+        # drains everything upstream before the first merged row, so the
+        # LIMIT-scaled driver only applies to fully streaming shapes, and
+        # streaming work upstream of the last block is charged in full.
+        last_block = max(
+            (i for i, c in enumerate(chosen_steps) if c.blocks_outer), default=-1
+        )
+        driving = analysis.driving_plan if last_block < 0 else analysis.driving_unlimited
+        upfront_ms = sum(c.split.upfront_ms for c in chosen_steps)
+        drained_ms = sum(
+            c.split.streaming_ms for c in chosen_steps[: max(0, last_block)]
+        )
+        streaming_ms = sum(
+            c.split.streaming_ms for c in chosen_steps[max(0, last_block):]
+        )
+
+        parts = [f"{analysis.driving_name}[{driving.method}:{driving.structure}]"]
+        source: AccessPath | JoinOperator = driving.path
+        for step, chosen in zip(analysis.steps, chosen_steps):
+            source = self._build_step_operator(source, step, chosen)
+            parts.append(f"{source.name}[{source.describe_detail()}]")
+
+        # Per-row streaming work downstream of the last block scales with
+        # the emitted fraction under a LIMIT; upfront work (hash builds,
+        # explicit sorts) is paid in full before the first row.
         fraction = 1.0
         if limit is not None and 1.0 <= limit < est_rows:
             fraction = limit / est_rows
-        cost = analysis.driving_plan.estimated_cost_ms + step_cost * fraction
+        cost = (
+            driving.estimated_cost_ms
+            + upfront_ms
+            + drained_ms
+            + streaming_ms * fraction
+        )
         assert isinstance(source, JoinOperator)
         return PlannedAccess(
             path=source,
             estimated_cost_ms=cost,
             structure=" -> ".join(parts),
         )
+
+    def _build_step_operator(
+        self,
+        source: "AccessPath | JoinOperator",
+        step: "_JoinStep",
+        chosen: "_StepCandidate",
+    ) -> JoinOperator:
+        """Instantiate the executable operator for one chosen step candidate."""
+        if chosen.kind == "hash":
+            return HashJoin(
+                source,
+                SeqScan(step.table, step.local),
+                step.join_on,
+                build_side=chosen.build_side,
+                inner_label=step.table.name,
+            )
+        if chosen.kind == "merge":
+            return SortMergeJoin(
+                source,
+                SeqScan(step.table, step.local),
+                step.join_on,
+                inner_sorted=step.inner_sorted,
+                outer_sorted=chosen.outer_sorted,
+                inner_label=step.table.name,
+            )
+        builder = InnerPathBuilder(
+            step.table,
+            step.join_on,
+            step.local,
+            chosen.strategy,
+            index=chosen.index,
+            cm=chosen.cm,
+        )
+        if chosen.strategy == "seq_scan":
+            return NestedLoopJoin(source, builder)
+        return IndexNestedLoopJoin(source, builder, chosen.strategy)
 
 
 @dataclass
@@ -703,17 +890,40 @@ class _JoinStep:
     table: Table
     join_on: list[tuple[str, str]]
     local: PredicateSet
-    #: ``(strategy, per_probe_cost_ms, index, cm)`` candidates.
+    #: ``(strategy, per_probe_cost_ms, index, cm)`` probe-family candidates.
     options: list[tuple[str, float, object, object]]
     fanout: float
     selectivity: float
+    #: Sampled estimate of inner rows surviving the local predicates.
+    est_inner_rows: float
+    #: Whether the inner heap already streams in join-key order.
+    inner_sorted: bool
+
+
+@dataclass
+class _StepCandidate:
+    """One costed way of executing one join step."""
+
+    kind: str  # "probe" | "hash" | "merge"
+    strategy: str
+    split: CostSplit
+    index: object = None
+    cm: object = None
+    build_side: str = "inner"
+    outer_sorted: bool = False
+    #: True when this step drains its whole outer input before emitting.
+    blocks_outer: bool = False
 
 
 @dataclass
 class _OrderAnalysis:
     """One left-deep order, analyzed once and shared by its strategy shapes."""
 
-    driving_label: str
+    driving_name: str
     driving_plan: PlannedAccess
+    #: The driver costed without the LIMIT, for shapes with a blocking step.
+    driving_unlimited: PlannedAccess
     driving_rows: float
     steps: list[_JoinStep]
+    #: Whether the driving path streams in the first step's join-key order.
+    first_step_outer_sorted: bool = False

@@ -267,6 +267,13 @@ class Query:
         down into whichever inner access path the planner picks.  Each table
         may appear once per chain -- self-joins would need column aliasing,
         which the row-merging executor does not provide.
+
+        Because merged rows are plain ``{**outer, **inner}`` dicts, two
+        tables sharing a column name that is *not* a same-named join key
+        would silently resolve "inner wins".  The query object cannot see
+        the table schemas, so :class:`~repro.engine.database.Database`
+        performs that check when the join is planned for execution and
+        raises a :class:`ValueError` naming the ambiguous columns.
         """
         if table == self.table or any(spec.table == table for spec in self.joins):
             raise ValueError(f"table {table!r} already appears in the join chain")
@@ -326,6 +333,12 @@ class QueryResult:
     rows_examined: int = 0
     rows_matched: int = 0
     pages_visited: int = 0
+    #: Inner-input probes performed by join operators (0 for scans): one per
+    #: probe-side row per join step, whichever operator family ran.
+    join_probes: int = 0
+    #: Rows the root context emitted -- equals ``rows_matched`` for a drained
+    #: result, but is the honest count when a LIMIT stopped the pipeline.
+    rows_emitted: int = 0
     io: IOBreakdown = field(default_factory=IOBreakdown)
     elapsed_ms: float = 0.0
     estimated_cost_ms: float | None = None
@@ -341,8 +354,9 @@ class QueryResult:
         return max(0, self.rows_examined - self.rows_matched)
 
     def summary(self) -> str:
+        probes = f", {self.join_probes} probes" if self.join_probes else ""
         return (
             f"[{self.access_method}] {self.query.describe()} -> "
-            f"{self.rows_matched} rows, {self.pages_visited} pages, "
+            f"{self.rows_matched} rows, {self.pages_visited} pages{probes}, "
             f"{self.elapsed_ms:.1f} ms simulated"
         )

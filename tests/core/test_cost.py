@@ -5,8 +5,10 @@ import pytest
 from repro.core.cost import (
     CMCostInputs,
     cm_lookup_cost,
+    hash_join_cost,
     pipelined_lookup_cost,
     scan_cost,
+    sort_merge_join_cost,
     sorted_lookup_cost,
     speedup_over_scan,
 )
@@ -129,3 +131,74 @@ def test_figure3_shape_correlated_vs_uncorrelated():
 
     assert cost_corr_100 < 0.5 * scan
     assert cost_uncorr_4 >= 0.9 * scan
+
+
+# ---------------------------------------------------------------------------
+# Set-at-a-time join operators (hash and sort-merge splits)
+# ---------------------------------------------------------------------------
+
+def test_hash_join_build_inner_split():
+    split = hash_join_cost(500, PROFILE.total_tups, PROFILE, HW, build_side="inner")
+    # Upfront: one inner scan plus hashing every inner row.
+    assert split.upfront_ms == pytest.approx(
+        scan_cost(PROFILE, HW) + PROFILE.total_tups * HW.cpu_tuple_cost_ms
+    )
+    # Streaming: pure CPU per probe row -- no I/O of its own.
+    assert split.streaming_ms == pytest.approx(500 * HW.cpu_tuple_cost_ms)
+
+
+def test_hash_join_build_outer_moves_inner_scan_to_streaming():
+    inner = hash_join_cost(500, 1_000, PROFILE, HW, build_side="inner")
+    outer = hash_join_cost(500, 1_000, PROFILE, HW, build_side="outer")
+    # The inner table is read exactly once either way; which phase pays for
+    # it is what the build side decides.
+    assert inner.total_ms == pytest.approx(outer.total_ms)
+    assert outer.upfront_ms == pytest.approx(500 * HW.cpu_tuple_cost_ms)
+    assert outer.streaming_ms > inner.streaming_ms
+
+
+def test_hash_join_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        hash_join_cost(-1, 10, PROFILE, HW)
+    with pytest.raises(ValueError):
+        hash_join_cost(10, 10, PROFILE, HW, build_side="sideways")
+
+
+def test_sort_merge_presorted_inner_streams_its_scan():
+    split = sort_merge_join_cost(
+        1_000, PROFILE.total_tups, PROFILE, HW, inner_sorted=True, outer_sorted=True
+    )
+    # Nothing to sort: the only work beyond merge CPU is the ordered sweep,
+    # which streams (a LIMIT abandons the remaining inner pages).
+    assert split.upfront_ms == 0.0
+    assert split.streaming_ms >= scan_cost(PROFILE, HW)
+
+
+def test_sort_merge_explicit_sorts_are_upfront():
+    split = sort_merge_join_cost(
+        1_000, PROFILE.total_tups, PROFILE, HW, inner_sorted=False
+    )
+    # The unsorted inner is scanned and sorted before the first merged row.
+    assert split.upfront_ms > scan_cost(PROFILE, HW)
+    assert split.streaming_ms < scan_cost(PROFILE, HW)
+
+
+def test_sort_merge_cost_grows_with_unsorted_outer():
+    sorted_outer = sort_merge_join_cost(
+        50_000, 1_000, PROFILE, HW, inner_sorted=True, outer_sorted=True
+    )
+    unsorted_outer = sort_merge_join_cost(
+        50_000, 1_000, PROFILE, HW, inner_sorted=True, outer_sorted=False
+    )
+    assert unsorted_outer.upfront_ms > sorted_outer.upfront_ms
+
+
+def test_join_splits_feed_limited_cost():
+    from repro.core.cost import limited_cost
+
+    split = hash_join_cost(10_000, PROFILE.total_tups, PROFILE, HW)
+    # A LIMIT scales only the probe pass; the build is paid in full, so the
+    # limited cost stays dominated by the upfront part.
+    limited = limited_cost(split, est_result_rows=10_000, limit=10)
+    assert limited >= split.upfront_ms
+    assert limited < split.total_ms

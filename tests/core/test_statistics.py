@@ -139,3 +139,99 @@ def test_exact_c_per_u_helper():
     rows = city_state_rows()
     assert exact_c_per_u(rows, "city", "state") == pytest.approx(9 / 6)
     assert exact_c_per_u([], "city", "state") == 0.0
+
+
+class TestDeleteHeavyBoundsRebuild:
+    """`observe_delete` churn must re-tighten per-attribute min/max."""
+
+    def _stats(self, threshold):
+        from repro.core.statistics import IncrementalTableStatistics
+
+        return IncrementalTableStatistics(
+            sample_capacity=10_000, bounds_rebuild_deletes=threshold
+        )
+
+    def test_bounds_tighten_after_enough_deletes(self):
+        stats = self._stats(threshold=50)
+        rows = [{"v": i} for i in range(1000)]
+        for row in rows:
+            stats.observe_insert(row)
+        assert stats.attribute_range("v") == (0, 999)
+        # Delete the top half; the 500th delete crosses the threshold well
+        # past the removed maximum, so the bounds come back from the sample.
+        for row in rows[500:]:
+            stats.observe_delete(row)
+        assert stats.attribute_range("v") == (0, 499)
+        assert stats.total_rows == 500
+
+    def test_bounds_stay_wide_below_the_threshold(self):
+        stats = self._stats(threshold=100)
+        rows = [{"v": i} for i in range(200)]
+        for row in rows:
+            stats.observe_insert(row)
+        for row in rows[150:]:  # 50 deletes < threshold
+            stats.observe_delete(row)
+        # Conservatively wide until enough churn accumulates.
+        assert stats.attribute_range("v") == (0, 199)
+
+    def test_inserts_after_rebuild_keep_widening(self):
+        stats = self._stats(threshold=10)
+        rows = [{"v": i} for i in range(100)]
+        for row in rows:
+            stats.observe_insert(row)
+        for row in rows[90:]:
+            stats.observe_delete(row)
+        assert stats.attribute_range("v") == (0, 89)
+        stats.observe_insert({"v": 500})
+        assert stats.attribute_range("v") == (0, 500)
+
+    def test_subsampled_reservoir_keeps_conservative_bounds(self):
+        # With an incomplete sample the reservoir's extremes can lie strictly
+        # inside the live domain; rebuilding from it would flip the safe
+        # over-estimate into an under-estimate, so the rebuild must not fire.
+        from repro.core.statistics import IncrementalTableStatistics
+
+        stats = IncrementalTableStatistics(
+            sample_capacity=100, bounds_rebuild_deletes=50
+        )
+        rows = [{"v": i} for i in range(10_000)]
+        for row in rows:
+            stats.observe_insert(row)
+        assert not stats.sample_is_complete
+        for row in rows[4_000:4_200]:  # interior deletes only
+            stats.observe_delete(row)
+        # 0 and 9999 are both still live; the bounds must not clip inward.
+        assert stats.attribute_range("v") == (0, 9_999)
+
+    def test_rebuild_threshold_validation(self):
+        import pytest as _pytest
+
+        from repro.core.statistics import IncrementalTableStatistics
+
+        with _pytest.raises(ValueError):
+            IncrementalTableStatistics(bounds_rebuild_deletes=0)
+
+    def test_between_lookup_estimate_tracks_a_shrinking_domain(self):
+        """The planner's range lookup count follows the rebuilt bounds."""
+        from repro.engine.database import Database
+        from repro.engine.predicates import Between
+        from repro.engine.query import Query
+
+        db = Database(buffer_pool_pages=200, stats_sample_size=10_000)
+        db.create_table("t", columns=["k", "v"], tups_per_page=20)
+        db.load("t", [{"k": i, "v": i % 7} for i in range(1000)])
+        db.cluster("t", "k")
+        table = db.table("t")
+        table.statistics.bounds_rebuild_deletes = 50
+        query = Query.select("t", Between("k", 0, 99))
+
+        before = db.planner._estimate_n_lookups(table, query.predicates, ["k"])
+        db.delete("t", [Between("k", 500, 999)])
+        after = db.planner._estimate_n_lookups(table, query.predicates, ["k"])
+        # The rebuilt bounds shrink the assumed domain to the live one, so
+        # the 100-wide window keeps estimating ~100 predicated values.  With
+        # the stale (0, 999) bounds the halved cardinality would cut the
+        # estimate to ~50 -- the systematic mis-estimate this fix removes.
+        assert table.attribute_range("k") == (0, 499)
+        assert 90 <= before <= 110
+        assert 90 <= after <= 110

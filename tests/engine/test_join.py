@@ -39,17 +39,43 @@ def join_db():
 
 
 class TestJoinCorrectness:
-    def test_nested_loop_join_matches_reference(self, join_db):
+    def test_unindexed_join_picks_hash_join_and_matches_reference(self, join_db):
+        # Neither table offers a probe structure; the planner used to fall
+        # back to the quadratic nested-loop rescan, now it hashes one side.
         db, orders, customers = join_db
         query = Query.select("orders").join("customers", on="custid")
         result = db.run_query(query)
+        expected = reference_join(orders, customers, "custid")
+        assert result.access_method == "hash_join"
+        assert result.rows_matched == len(expected)
+        assert sorted(r["orderid"] for r in result.rows) == sorted(
+            r["orderid"] for r in expected
+        )
+        assert all("name" in row and "amount" in row for row in result.rows)
+
+    def test_nested_loop_join_matches_reference(self, join_db):
+        db, orders, customers = join_db
+        query = Query.select("orders").join("customers", on="custid")
+        result = db.run_query(query, force_join="nested_loop_join")
         expected = reference_join(orders, customers, "custid")
         assert result.access_method == "nested_loop_join"
         assert result.rows_matched == len(expected)
         assert sorted(r["orderid"] for r in result.rows) == sorted(
             r["orderid"] for r in expected
         )
-        assert all("name" in row and "amount" in row for row in result.rows)
+
+    def test_hash_and_sort_merge_agree_with_nested_loop(self, join_db):
+        db, orders, customers = join_db
+        query = Query.select("orders", Between("orderid", 0, 99)).join(
+            "customers", on="custid"
+        )
+        reference = db.run_query(query, force_join="nested_loop_join")
+        for strategy in ("hash_join", "sort_merge_join"):
+            result = db.run_query(query, force_join=strategy)
+            assert result.access_method == strategy
+            assert sorted(r["orderid"] for r in result.rows) == sorted(
+                r["orderid"] for r in reference.rows
+            )
 
     def test_index_nested_loop_agrees_with_nested_loop(self, join_db):
         db, orders, customers = join_db
@@ -287,7 +313,7 @@ class TestJoinPlanningErrors:
         db, _orders, _customers = join_db
         query = Query.select("orders").join("customers", on="custid")
         with pytest.raises(ValueError, match="unknown join method"):
-            db.run_query(query, force_join="hash_join")
+            db.run_query(query, force_join="grace_hash_join")
 
     def test_force_index_join_without_structures_rejected(self, join_db):
         db, _orders, _customers = join_db
@@ -321,9 +347,12 @@ class TestJoinPlanningErrors:
         unlimited = db.planner.choose_join(db.tables, query)
         limited = db.planner.choose_join(db.tables, query, limit=1)
         # Same flip as the single-table regression: the index driver's
-        # upfront descents lose to a limit-terminated scan for one row.
+        # upfront descents lose to limit-terminated streaming for one row
+        # (today the winner is a cats-driven hash join whose probe sweep of
+        # items stops at the first match).
         assert "items[sorted_index_scan" in unlimited.structure
-        assert "items[seq_scan" in limited.structure
+        assert "sorted_index_scan" not in limited.structure
+        assert limited.estimated_cost_ms < unlimited.estimated_cost_ms
 
     def test_tail_pages_priced_into_probe_options(self, join_db):
         db, _orders, _customers = join_db
@@ -362,3 +391,210 @@ class TestJoinPlanningErrors:
         # regions offers no probe structure, so a pure index-NLJ is impossible.
         with pytest.raises(ValueError, match="index_nested_loop_join"):
             db.planner.choose_join(db.tables, query, force_join="index_nested_loop_join")
+
+
+class TestHashAndSortMergeOperators:
+    """Edge cases of the set-at-a-time operators (ISSUE satellite)."""
+
+    def test_empty_build_side_never_reads_the_probe_side(self, join_db):
+        db, _orders, _customers = join_db
+        db.create_table("coupons", columns=["custid", "percent"], tups_per_page=10)
+        outer_heap = db.table("orders").heap
+        before = outer_heap.logical_page_reads
+        query = Query.select("orders").join("coupons", on="custid")
+        result = db.run_query(query, force_join="hash_join")
+        assert result.rows_matched == 0
+        # The inner (build) side is empty, so not one probe row is pulled.
+        assert outer_heap.logical_page_reads == before
+        assert result.join_probes == 0
+
+    def test_sort_merge_empty_outer_never_reads_the_inner(self, join_db):
+        # Operator-level (the planner is free to reorder the chain): an
+        # outer that produces no rows must not trigger the inner read, in
+        # either the materialised-sort or the lazy pre-sorted outer path.
+        from repro.engine.access import SeqScan
+        from repro.engine.executor import SortMergeJoin
+        from repro.engine.predicates import PredicateSet
+
+        db, _orders, _customers = join_db
+        inner_heap = db.table("customers").heap
+        outer = SeqScan(db.table("orders"), PredicateSet((Equals("custid", 999),)))
+        for outer_sorted in (False, True):
+            before = inner_heap.logical_page_reads
+            operator = SortMergeJoin(
+                outer,
+                SeqScan(db.table("customers"), PredicateSet()),
+                [("custid", "custid")],
+                outer_sorted=outer_sorted,
+            )
+            assert operator.execute().rows == []
+            assert inner_heap.logical_page_reads == before
+
+    def test_all_duplicate_keys_produce_the_full_cross_block(self, join_db):
+        db, _orders, _customers = join_db
+        db.create_table("lhs", columns=["k", "a"], tups_per_page=10)
+        db.create_table("rhs", columns=["k", "b"], tups_per_page=10)
+        db.load("lhs", [{"k": 7, "a": i} for i in range(30)])
+        db.load("rhs", [{"k": 7, "b": i} for i in range(20)])
+        query = Query.select("lhs").join("rhs", on="k")
+        reference = db.run_query(query, force_join="nested_loop_join")
+        assert reference.rows_matched == 30 * 20
+        for strategy in ("hash_join", "sort_merge_join"):
+            result = db.run_query(query, force_join=strategy)
+            assert result.rows_matched == 30 * 20
+            assert sorted((r["a"], r["b"]) for r in result.rows) == sorted(
+                (r["a"], r["b"]) for r in reference.rows
+            )
+
+    def test_hash_join_limit_stops_mid_probe(self, join_db):
+        db, _orders, _customers = join_db
+        outer_heap = db.table("orders").heap
+        before = outer_heap.logical_page_reads
+        query = Query.select("orders").join("customers", on="custid")
+        result = db.run_query(query, force_join="hash_join", limit=3)
+        # customers (25 rows) is the build side; orders streams as the probe
+        # side and the satisfied LIMIT stops the probe sweep mid-table.
+        assert result.rows_matched == 3
+        assert result.rows_emitted == 3
+        assert outer_heap.logical_page_reads - before < db.table("orders").num_pages
+
+    def test_sort_merge_limit_stops_the_presorted_inner_sweep(self, join_db):
+        db, _orders, _customers = join_db
+        db.create_table("ledger", columns=["custid", "balance"], tups_per_page=10)
+        db.load("ledger", [{"custid": c, "balance": float(c)} for c in range(200)])
+        db.cluster("ledger", "custid")
+        inner_heap = db.table("ledger").heap
+        before = inner_heap.logical_page_reads
+        query = Query.select("orders").join("ledger", on="custid")
+        result = db.run_query(query, force_join="sort_merge_join", limit=2)
+        assert result.rows_matched == 2
+        # The inner is pre-sorted on the join key, so the merge pulls its
+        # pages lazily and the LIMIT leaves most of them unread.
+        assert inner_heap.logical_page_reads - before < db.table("ledger").num_pages
+
+    def test_null_join_keys_match_consistently_across_strategies(self, join_db):
+        # None == None matches under Python equality; the merge's ordering
+        # comparisons must not crash on NULL keys and must agree with the
+        # equality-based operators.
+        db, _orders, _customers = join_db
+        db.create_table("lhs", columns=["k", "a"], tups_per_page=10)
+        db.create_table("rhs", columns=["k", "b"], tups_per_page=10)
+        db.load("lhs", [{"k": 1, "a": 1}, {"k": None, "a": 2}, {"k": 2, "a": 3}])
+        db.load("rhs", [{"k": None, "b": 10}, {"k": 2, "b": 20}, {"k": 3, "b": 30}])
+        query = Query.select("lhs").join("rhs", on="k")
+        reference = db.run_query(query, force_join="nested_loop_join")
+        assert reference.rows_matched == 2  # (None, None) and (2, 2)
+        for strategy in ("hash_join", "sort_merge_join"):
+            result = db.run_query(query, force_join=strategy)
+            assert sorted((r["a"], r["b"]) for r in result.rows) == sorted(
+                (r["a"], r["b"]) for r in reference.rows
+            )
+
+    def test_counters_are_shared_across_build_and_probe_inputs(self, join_db):
+        db, orders, customers = join_db
+        orders_heap = db.table("orders").heap
+        customers_heap = db.table("customers").heap
+        before_orders = orders_heap.logical_page_reads
+        before_customers = customers_heap.logical_page_reads
+        query = Query.select("orders").join("customers", on="custid")
+        result = db.run_query(query, force_join="hash_join")
+        orders_delta = orders_heap.logical_page_reads - before_orders
+        customers_delta = customers_heap.logical_page_reads - before_customers
+        # Each input is read exactly once and both land in one counter set.
+        assert result.pages_visited == orders_delta + customers_delta
+        assert result.rows_examined == len(orders) + len(customers)
+        # One probe per probe-side row of the streamed input.
+        assert result.join_probes == len(orders)
+
+    def test_join_counters_thread_through_materialisation(self, join_db):
+        # The satellite bugfix: materialize() used to drop join_probes and
+        # rows_emitted, so QueryResult under-reported the join's work.
+        db, orders, _customers = join_db
+        query = Query.select("orders").join("customers", on="custid")
+        result = db.run_query(query, force_join="hash_join")
+        assert result.join_probes == len(orders)
+        assert result.rows_emitted == result.rows_matched == len(orders)
+        assert f"{result.join_probes} probes" in result.summary()
+        single = db.run_query(Query.select("orders"))
+        assert single.join_probes == 0
+        assert "probes" not in single.summary()
+
+    def test_forced_strategies_appear_in_explain_structures(self, join_db):
+        db, _orders, _customers = join_db
+        query = Query.select("orders").join("customers", on="custid")
+        structures = [plan["structure"] for plan in db.explain(query)]
+        assert any("hash build=" in s for s in structures)
+        assert any("merge sort=" in s for s in structures)
+
+
+class TestAmbiguousColumnDetection:
+    """Non-join-key column collisions must fail loudly, not 'inner wins'."""
+
+    @pytest.fixture
+    def collision_db(self):
+        db = Database(buffer_pool_pages=100)
+        db.create_table("events", columns=["id", "ts", "region"], tups_per_page=10)
+        db.create_table("users", columns=["uid", "region", "name"], tups_per_page=10)
+        db.load("events", [{"id": i, "ts": i * 10, "region": f"r{i % 3}"} for i in range(30)])
+        db.load("users", [{"uid": i, "region": f"r{i % 3}", "name": f"u{i}"} for i in range(9)])
+        return db
+
+    def test_non_key_collision_rejected_with_column_names(self, collision_db):
+        query = Query.select("events").join("users", on=("id", "uid"))
+        with pytest.raises(ValueError, match=r"ambiguous columns \['region'\]"):
+            collision_db.run_query(query)
+        with pytest.raises(ValueError, match="region"):
+            list(collision_db.stream(query))
+
+    def test_same_named_join_key_is_not_ambiguous(self, collision_db):
+        query = Query.select("events").join("users", on="region")
+        result = collision_db.run_query(query)
+        assert result.rows_matched == 30 * 3  # 3 users per region
+
+    def test_pair_join_on_the_shared_column_still_collides_elsewhere(self, collision_db):
+        # Joining ("region", "region") as an explicit pair is same-named, so
+        # it is exempt...
+        ok = Query.select("events").join("users", on=[("region", "region")])
+        assert collision_db.run_query(ok).rows_matched == 90
+        # ...but a pair join on *different* names leaves 'region' ambiguous
+        # even though it participates in the equality on one side.
+        bad = Query.select("events").join("users", on=[("region", "uid")])
+        with pytest.raises(ValueError, match=r"ambiguous columns \['region'\]"):
+            collision_db.run_query(bad)
+
+    def test_internal_bucket_column_is_exempt(self):
+        db = Database(buffer_pool_pages=200)
+        db.create_table("a", columns=["k", "x"], tups_per_page=10)
+        db.create_table("b", columns=["k", "y"], tups_per_page=10)
+        db.load("a", [{"k": i, "x": i} for i in range(100)])
+        db.load("b", [{"k": i, "y": i} for i in range(100)])
+        # Clustering with buckets adds the _cm_bucket column to both tables;
+        # that engine-internal collision must not trip the check.
+        db.cluster("a", "k", pages_per_bucket=2)
+        db.cluster("b", "k", pages_per_bucket=2)
+        query = Query.select("a").join("b", on="k")
+        assert db.run_query(query).rows_matched == 100
+
+    def test_third_table_collision_against_earlier_chain_member(self, collision_db):
+        collision_db.create_table("audits", columns=["aid", "ts"], tups_per_page=10)
+        collision_db.load("audits", [{"aid": i, "ts": i} for i in range(5)])
+        query = (
+            Query.select("events")
+            .join("users", on="region")
+            .join("audits", on=("id", "aid"))
+        )
+        # audits.ts collides with events.ts two steps back.
+        with pytest.raises(ValueError, match=r"ambiguous columns \['ts'\]"):
+            collision_db.run_query(query)
+
+    def test_user_underscore_columns_are_not_exempt(self):
+        # Only the engine's own bucket column is exempt; a user column that
+        # happens to start with an underscore still collides loudly.
+        db = Database(buffer_pool_pages=100)
+        db.create_table("a", columns=["k", "_note"], tups_per_page=10)
+        db.create_table("b", columns=["k", "_note"], tups_per_page=10)
+        db.load("a", [{"k": i, "_note": f"a{i}"} for i in range(10)])
+        db.load("b", [{"k": i, "_note": f"b{i}"} for i in range(10)])
+        query = Query.select("a").join("b", on="k")
+        with pytest.raises(ValueError, match=r"ambiguous columns \['_note'\]"):
+            db.run_query(query)
