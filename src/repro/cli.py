@@ -51,7 +51,9 @@ _DATASETS = {
 }
 
 
-def _run_demo(limit: int | None = None, join: bool = False) -> int:
+def _run_demo(
+    limit: int | None = None, join: bool = False, analyze: bool = False
+) -> int:
     """Inline quickstart (the installable twin of ``examples/quickstart.py``)."""
     import random
 
@@ -114,6 +116,24 @@ def _run_demo(limit: int | None = None, join: bool = False) -> int:
             )
         best = db.explain(joined)[0]
         print(f"  planner picks: {best['structure']}")
+    if analyze:
+        topk = Query.select("items", Between("price", 10_000, 12_000)).order_by(
+            "-price"
+        ).with_limit(5)
+        print(f"\nEXPLAIN ANALYZE {topk.describe()}:")
+        print(db.explain_analyze(topk, cold_cache=True))
+        grouped = (
+            Query.select(
+                "items",
+                Between("price", 10_000, 12_000),
+                aggregate=Aggregate.count(alias="n"),
+            )
+            .group_by("catid")
+            .order_by("-n")
+            .with_limit(3)
+        )
+        print(f"\nEXPLAIN ANALYZE {grouped.describe()}:")
+        print(db.explain_analyze(grouped, cold_cache=True))
     return 0
 
 
@@ -203,7 +223,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run a two-table join (nested-loop vs index-nested-loop)",
     )
-    demo.set_defaults(func=lambda args: _run_demo(limit=args.limit, join=args.join))
+    demo.add_argument(
+        "--analyze",
+        action="store_true",
+        help="also EXPLAIN ANALYZE a top-k and a grouped aggregation",
+    )
+    demo.set_defaults(
+        func=lambda args: _run_demo(
+            limit=args.limit, join=args.join, analyze=args.analyze
+        )
+    )
     sub.add_parser("datasets", help="describe the bundled data sets").set_defaults(
         func=_cmd_datasets
     )

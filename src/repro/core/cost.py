@@ -347,6 +347,78 @@ def hash_join_cost(
     return CostSplit(upfront_ms=outer_ms, streaming_ms=inner_ms)
 
 
+# ---------------------------------------------------------------------------
+# Streaming operator costing (Sort / TopK / Aggregate / GroupBy nodes)
+# ---------------------------------------------------------------------------
+
+def sort_cost(est_rows: float, hw: HardwareParameters) -> CostSplit:
+    """Cost of an explicit in-memory ORDER BY sort over ``est_rows`` rows.
+
+    The sort must drain its whole input before the first row can be emitted,
+    so the ``n log n`` comparison CPU is upfront; re-emitting the sorted rows
+    is the streaming part (which a LIMIT *above* the sort can cut short,
+    although a plain LIMIT + ORDER BY plans a :func:`top_k_cost` node
+    instead).
+    """
+    return CostSplit(
+        upfront_ms=_sort_cpu_ms(est_rows, hw),
+        streaming_ms=max(0.0, est_rows) * hw.cpu_tuple_cost_ms,
+    )
+
+
+def top_k_comparison_count(rows: float, k: int) -> float:
+    """Comparisons of a bounded-heap top-k selection: ``n log2 k``.
+
+    Shared by the cost model (in ms) and the executor (charged as CPU tuples)
+    so the modelled and measured heap cost cannot drift apart.
+    """
+    rows = max(0.0, rows)
+    return rows * math.log2(max(2, k))
+
+
+def top_k_cost(est_rows: float, k: int, hw: HardwareParameters) -> CostSplit:
+    """Cost of a heap-based top-k (ORDER BY + LIMIT k) over ``est_rows`` rows.
+
+    The k-heap consumes the entire input before anything can be emitted
+    (upfront: one heap operation per input row, ``log2 k`` comparisons each);
+    emitting the k survivors streams.  Because only a k-row heap is retained,
+    this beats :func:`sort_cost` whenever ``k`` is small -- the reason the
+    planner fuses ORDER BY + LIMIT into one TopK node.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    return CostSplit(
+        upfront_ms=top_k_comparison_count(est_rows, k) * hw.cpu_tuple_cost_ms,
+        streaming_ms=min(max(0.0, est_rows), float(k)) * hw.cpu_tuple_cost_ms,
+    )
+
+
+def scalar_aggregate_cost(est_rows: float, hw: HardwareParameters) -> CostSplit:
+    """Cost of reducing ``est_rows`` rows to one aggregate value (streaming).
+
+    One CPU charge per consumed row, all upfront: nothing is emitted until
+    the input is exhausted, so no part of the work scales with a LIMIT.
+    """
+    return CostSplit(
+        upfront_ms=max(0.0, est_rows) * hw.cpu_tuple_cost_ms, streaming_ms=0.0
+    )
+
+
+def hash_group_cost(
+    est_rows: float, est_groups: float, hw: HardwareParameters
+) -> CostSplit:
+    """Cost of hash aggregation: one hash+accumulate per row, emit per group.
+
+    The build over the input is upfront (the last input row can still create
+    a new group, so no group is final before the input is exhausted); emitting
+    the grouped rows streams and scales under a LIMIT.
+    """
+    return CostSplit(
+        upfront_ms=max(0.0, est_rows) * hw.cpu_tuple_cost_ms,
+        streaming_ms=max(0.0, est_groups) * hw.cpu_tuple_cost_ms,
+    )
+
+
 def sort_merge_join_cost(
     est_outer_rows: float,
     est_inner_rows: float,

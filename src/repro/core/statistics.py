@@ -206,17 +206,29 @@ class IncrementalTableStatistics:
         sample_capacity: int = DEFAULT_STATS_SAMPLE_SIZE,
         seed: int = 0,
         bounds_rebuild_deletes: int | None = None,
+        refresh_ops: int | None = None,
     ) -> None:
         if sample_capacity <= 0:
             raise ValueError("sample_capacity must be positive")
         if bounds_rebuild_deletes is not None and bounds_rebuild_deletes <= 0:
             raise ValueError("bounds_rebuild_deletes must be positive")
+        if refresh_ops is not None and refresh_ops <= 0:
+            raise ValueError("refresh_ops must be positive")
         self.sample_capacity = sample_capacity
         self.bounds_rebuild_deletes = (
             bounds_rebuild_deletes
             if bounds_rebuild_deletes is not None
             else max(64, sample_capacity // 100)
         )
+        #: Periodic re-seeding policy: after this many observed inserts +
+        #: deletes the owner should call :meth:`rebuild` with a fresh scan
+        #: (see :attr:`refresh_due`).  ``None`` disables the policy.  This
+        #: is the full-refresh complement of the bounds-only rebuild above:
+        #: once the reservoir is a *subsample*, deletes erode it (discarded
+        #: rows are not replaced) and its distribution slowly drifts from
+        #: the live table; a periodic re-seed restores an exactly uniform --
+        #: or, for small tables, complete -- sample.
+        self.refresh_ops = refresh_ops
         self._seed = seed
         self._reset()
 
@@ -229,14 +241,29 @@ class IncrementalTableStatistics:
         self._deletes_since_bounds_rebuild = 0
         #: Whether any delete since the last rebuild hit a min/max value.
         self._bounds_possibly_stale = False
+        self._ops_since_refresh = 0
         self._profile_cache: dict[tuple, CorrelationProfile] = {}
         self._cardinality_cache: dict[tuple, int] = {}
         self._selectivity_cache: dict[Any, float] = {}
 
     # -- maintenance ------------------------------------------------------------
 
+    @property
+    def refresh_due(self) -> bool:
+        """True once ``refresh_ops`` maintenance operations have accumulated.
+
+        The statistics object cannot scan the heap itself; the owning table
+        checks this after each insert/delete and calls :meth:`rebuild` with
+        a fresh row scan when it trips.
+        """
+        return (
+            self.refresh_ops is not None
+            and self._ops_since_refresh >= self.refresh_ops
+        )
+
     def observe_insert(self, row: Mapping[str, Any]) -> None:
         self._total_rows += 1
+        self._ops_since_refresh += 1
         self._reservoir.add(row)
         for attribute, value in row.items():
             self._observe_value(attribute, value)
@@ -244,6 +271,7 @@ class IncrementalTableStatistics:
 
     def observe_delete(self, row: Mapping[str, Any]) -> None:
         self._total_rows = max(0, self._total_rows - 1)
+        self._ops_since_refresh += 1
         self._reservoir.discard(row)
         # A single delete leaves min/max conservatively wide (we cannot know
         # cheaply whether duplicates of an extreme remain), but enough churn
@@ -289,7 +317,11 @@ class IncrementalTableStatistics:
         self._bounds_possibly_stale = False
 
     def rebuild(self, rows: Iterable[Mapping[str, Any]]) -> None:
-        """Recompute from scratch (used by DDL that rewrites the heap anyway)."""
+        """Recompute from scratch: re-seed the reservoir, bounds and caches.
+
+        Called by DDL that rewrites the heap anyway (clustering) and by the
+        periodic :attr:`refresh_due` policy; also resets the refresh clock.
+        """
         self._reset()
         for row in rows:
             self._total_rows += 1

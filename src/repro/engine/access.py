@@ -94,6 +94,19 @@ class AccessPath:
         """Materialise the stream into an :class:`AccessResult` (compatibility)."""
         return materialize(self, context)
 
+    def output_ordering(self) -> tuple[tuple[str, bool], ...]:
+        """Columns the emitted stream is sorted by, as ``(column, ascending)``.
+
+        Every sweep-style path (sequential, sorted-index/bitmap, clustered,
+        CM) visits heap pages in ascending page order, so its output carries
+        the heap's :meth:`~repro.engine.table.Table.stream_ordering` -- the
+        clustered attribute, while no unsorted tail has grown.  The planner
+        uses this to plan ``ORDER BY`` sorts away (and
+        :class:`PipelinedIndexScan` overrides it: that path emits in
+        index-probe order, not heap order).
+        """
+        return self.table.stream_ordering()
+
     # -- the shared scan kernel -------------------------------------------------
 
     def _sweep_pages(
@@ -223,6 +236,10 @@ class PipelinedIndexScan(AccessPath):
     """Per-tuple random fetches in index order (Section 3.1)."""
 
     name = "pipelined_index_scan"
+
+    def output_ordering(self) -> tuple[tuple[str, bool], ...]:
+        """Rows come back in index-probe order, not heap (clustered) order."""
+        return ()
 
     def __init__(
         self, table: Table, index: SecondaryIndex, predicates: PredicateSet

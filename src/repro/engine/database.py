@@ -69,6 +69,7 @@ class Database:
         disk_params: DiskParameters | None = None,
         buffer_pool_pages: int = DEFAULT_BUFFER_POOL_PAGES,
         stats_sample_size: int = DEFAULT_STATS_SAMPLE_SIZE,
+        stats_refresh_ops: int | None = None,
     ) -> None:
         self.disk = DiskModel(disk_params)
         self.buffer_pool = BufferPool(self.disk, capacity_pages=buffer_pool_pages)
@@ -77,6 +78,11 @@ class Database:
         self.hardware = HardwareParameters.from_disk(self.disk.params)
         self.planner = Planner(self.hardware)
         self.stats_sample_size = stats_sample_size
+        #: Re-seed each table's statistics (reservoir, bounds, caches) from a
+        #: heap scan after this many inserts+deletes; ``None`` disables the
+        #: periodic refresh policy (the default -- the incremental updates
+        #: are exact while the sample is complete).
+        self.stats_refresh_ops = stats_refresh_ops
         self.tables: dict[str, Table] = {}
 
     # -- DDL ---------------------------------------------------------------------
@@ -105,6 +111,7 @@ class Database:
             self.buffer_pool,
             tups_per_page=tups_per_page,
             stats_sample_size=self.stats_sample_size,
+            stats_refresh_ops=self.stats_refresh_ops,
         )
         self.tables[name] = table
         return table
@@ -171,44 +178,88 @@ class Database:
         ``cold_cache=True`` empties the buffer pool first, matching the
         paper's methodology of dropping caches between measured runs.
         ``limit``/``projection`` override the query's own values; a satisfied
-        LIMIT terminates the page sweep (and, under a join, the outer loop)
-        early, so the remaining heap pages are never read.
+        LIMIT stops the plan's Limit node from pulling, which abandons every
+        upstream generator so the remaining heap pages are never read.
 
-        Plan *selection* is LIMIT-aware: candidates are costed for producing
-        ``min(limit, estimated_result_rows)`` rows, so a very small LIMIT
-        prefers a limit-terminated scan over a plan that pays many index
-        descents up front.
+        Plan *selection* is LIMIT-aware: fully streaming candidates are
+        costed for producing ``min(limit, estimated_result_rows)`` rows, so
+        a very small LIMIT prefers a limit-terminated scan over a plan that
+        pays many index descents up front.  A scalar aggregate consumes the
+        whole matching stream (streamingly -- only the accumulator state is
+        held), so ``limit``/``projection`` cannot combine with it; grouped
+        aggregates accept both (the LIMIT caps the number of groups).
         """
-        if query.aggregate is not None and (limit is not None or projection is not None):
-            raise ValueError(
-                "limit/projection cannot be combined with an aggregate: the "
-                "aggregate consumes the full matching row stream"
-            )
-        context = ExecutionContext.for_query(query, limit=limit, projection=projection)
-        self._validate_query(query, context.projection)
+        plan = self._prepare(
+            query, force=force, force_join=force_join, limit=limit, projection=projection
+        )
         if cold_cache:
             self.drop_caches()
-        plan = self._plan(query, force=force, force_join=force_join, limit=context.limit)
         before = self.disk.snapshot()
-        outcome = plan.path.execute(context)
+        context = ExecutionContext()
+        rows = list(plan.iter_rows(context))
         io = self.disk.window_since(before)
-        result = QueryResult(
+        return self._build_result(query, plan, rows, context, io)
+
+    def _prepare(
+        self,
+        query: Query,
+        *,
+        force: str | None,
+        force_join: str | None,
+        limit: int | None,
+        projection: Sequence[str] | None,
+    ):
+        """Shared run_query/stream preamble: coalesce overrides, validate, plan."""
+        limit = query.limit if limit is None else limit
+        projection = query.projection if projection is None else tuple(projection)
+        scalar_aggregate = query.aggregate is not None and not query.grouping
+        if scalar_aggregate and (limit is not None or projection is not None):
+            raise ValueError(
+                "limit/projection cannot be combined with a scalar aggregate: "
+                "it reduces the full matching row stream to one value"
+            )
+        self._validate_query(query, projection)
+        return self._plan(
+            query,
+            force=force,
+            force_join=force_join,
+            limit=limit,
+            projection=projection,
+        )
+
+    def _build_result(
+        self, query: Query, plan, rows: list[dict[str, Any]], context, io
+    ) -> QueryResult:
+        """Fold an executed plan tree into a :class:`QueryResult`."""
+        from repro.engine.plan import AggregateNode, find_node, sort_stats
+
+        totals = plan.total_counters()
+        value = None
+        rows_matched = len(rows)
+        if query.aggregate is not None and not query.grouping:
+            aggregate_node = find_node(plan, AggregateNode)
+            value = aggregate_node.value
+            #: The scalar aggregate's single synthetic row is not a result
+            #: row; ``rows_matched`` reports the matching rows it consumed.
+            rows_matched = aggregate_node.rows_in
+            rows = []
+        return QueryResult(
             query=query,
             access_method=plan.method,
-            rows=outcome.rows,
-            rows_examined=outcome.rows_examined,
-            rows_matched=len(outcome.rows),
-            pages_visited=outcome.pages_visited,
-            join_probes=outcome.join_probes,
-            rows_emitted=outcome.rows_emitted,
+            rows=rows,
+            value=value,
+            rows_examined=totals.rows_examined,
+            rows_matched=rows_matched,
+            pages_visited=totals.pages_visited,
+            join_probes=totals.join_probes,
+            rows_emitted=plan.actual.rows_out,
             io=io,
             elapsed_ms=io.elapsed_ms(self.disk.params),
             estimated_cost_ms=plan.estimated_cost_ms,
-            rewritten_sql=outcome.rewritten_sql,
+            rewritten_sql=context.rewritten_sql,
+            sort_stats=sort_stats(plan),
+            plan=plan,
         )
-        if query.aggregate is not None:
-            result.value = query.aggregate.compute(outcome.rows)
-        return result
 
     def query(
         self,
@@ -235,15 +286,16 @@ class Database:
         generator pipeline -- for joins, merged rows are produced as the
         outer scan and the inner probes interleave -- and abandoning the
         iterator stops every stage (pages past the last consumed row are
-        never read).  Aggregating queries are rejected -- an aggregate needs
-        the whole stream; use :meth:`run_query`.
+        never read).  A Sort/TopK in the plan buffers internally, but the
+        surface stays the same generator.  Aggregating queries are rejected
+        -- an aggregate needs the whole stream; use :meth:`run_query`.
         """
         if query.aggregate is not None:
             raise ValueError("stream() does not support aggregating queries")
-        context = ExecutionContext.for_query(query, limit=limit, projection=projection)
-        self._validate_query(query, context.projection)
-        plan = self._plan(query, force=force, force_join=force_join, limit=context.limit)
-        return plan.path.iter_rows(context)
+        plan = self._prepare(
+            query, force=force, force_join=force_join, limit=limit, projection=projection
+        )
+        return plan.iter_rows(ExecutionContext())
 
     def _plan(
         self,
@@ -252,15 +304,27 @@ class Database:
         force: str | None,
         force_join: str | None = None,
         limit: int | None = None,
+        projection: Sequence[str] | None = None,
     ):
-        """Plan selection for one execution (join-aware, LIMIT-aware)."""
+        """Plan selection for one execution: a costed physical operator tree."""
         if query.joins:
             return self.planner.choose_join(
-                self.tables, query, force=force, force_join=force_join, limit=limit
+                self.tables,
+                query,
+                force=force,
+                force_join=force_join,
+                limit=limit,
+                projection=projection,
             )
         if force_join is not None:
             raise ValueError("force_join only applies to queries with joins")
-        return self.planner.choose(self.table(query.table), query, force=force, limit=limit)
+        return self.planner.choose(
+            self.table(query.table),
+            query,
+            force=force,
+            limit=limit,
+            projection=projection,
+        )
 
     def _validate_query(self, query: Query, projection: Sequence[str] | None) -> None:
         """Check table names, column collisions and the projection.
@@ -300,11 +364,43 @@ class Database:
                     "table's value; rename the columns or join on them"
                 )
             seen_columns.update(table.schema.columns)
-        for column in projection or ():
-            if not any(table.schema.has_column(column) for table in chain):
-                tables = ", ".join(table.name for table in chain)
+        def known(column: str) -> bool:
+            return any(table.schema.has_column(column) for table in chain)
+
+        tables_text = ", ".join(table.name for table in chain)
+        for column in query.grouping:
+            if not known(column):
                 raise ValueError(
-                    f"unknown column {column!r} in projection (tables: {tables})"
+                    f"unknown column {column!r} in GROUP BY (tables: {tables_text})"
+                )
+        # Grouped queries sort/project over the *grouped* rows: the group
+        # columns plus the aggregate's output column.
+        grouped_output = (
+            set(query.grouping) | {query.aggregate.output_name}
+            if query.grouping
+            else None
+        )
+        for column, _ascending in query.ordering:
+            if grouped_output is not None:
+                if column not in grouped_output:
+                    raise ValueError(
+                        f"unknown column {column!r} in ORDER BY: grouped rows "
+                        f"carry only {sorted(grouped_output)}"
+                    )
+            elif not known(column):
+                raise ValueError(
+                    f"unknown column {column!r} in ORDER BY (tables: {tables_text})"
+                )
+        for column in projection or ():
+            if grouped_output is not None:
+                if column not in grouped_output:
+                    raise ValueError(
+                        f"unknown column {column!r} in projection: grouped rows "
+                        f"carry only {sorted(grouped_output)}"
+                    )
+            elif not known(column):
+                raise ValueError(
+                    f"unknown column {column!r} in projection (tables: {tables_text})"
                 )
 
     def explain(self, query: Query) -> list[dict[str, Any]]:
@@ -337,6 +433,45 @@ class Database:
             # preference, so the first entry is the plan selection picks.
             for plan in sorted(plans, key=self.planner.plan_rank)
         ]
+
+    def explain_analyze(
+        self,
+        query: Query,
+        *,
+        force: str | None = None,
+        force_join: str | None = None,
+        cold_cache: bool = False,
+    ) -> str:
+        """Execute ``query`` and render its plan tree with per-node counters.
+
+        One line per :class:`~repro.engine.executor.PlanNode`, showing the
+        planner's estimated rows/pages next to the node's actual counters
+        (each node reports only its *own* work, so the columns sum to the
+        whole-query totals) plus the node's estimated cost split total.  A
+        footer line repeats the totals and the simulated elapsed time::
+
+            >>> from repro.engine.database import Database
+            >>> from repro.engine.query import Query
+            >>> db = Database()
+            >>> _ = db.create_table("t", columns=["x"])
+            >>> _ = db.load("t", [{"x": i} for i in range(100)])
+            >>> print(db.explain_analyze(Query.select("t", limit=3)))  # doctest: +SKIP
+            limit[3]  (rows est=3 act=3, ...)
+            └─ seq_scan(t: heap)  (rows est=100 act=3, ...)
+            totals: 1 pages, 3 rows examined, ... ms simulated (estimated ... ms)
+        """
+        from repro.engine.plan import render_plan
+
+        result = self.run_query(
+            query, force=force, force_join=force_join, cold_cache=cold_cache
+        )
+        footer = (
+            f"totals: {result.pages_visited} pages, "
+            f"{result.rows_examined} rows examined, "
+            f"{result.elapsed_ms:.1f} ms simulated "
+            f"(estimated {result.estimated_cost_ms:.1f} ms)"
+        )
+        return f"{render_plan(result.plan)}\n{footer}"
 
     # -- DML with maintenance --------------------------------------------------------------
 

@@ -1,17 +1,30 @@
-"""The streaming execution layer: contexts, counters and join operators.
+"""The streaming execution layer: plan nodes, contexts, counters, joins.
 
-Access paths produce rows through generator-based ``iter_rows`` pipelines;
-an :class:`ExecutionContext` travels down the pipeline carrying the shared
-execution counters, the LIMIT budget and the output projection.  Keeping the
-context separate from the access paths lets one query execution thread a
-single set of counters through index probes, correlation-map lookups and the
-heap sweep kernel, and lets LIMIT terminate the sweep as soon as enough rows
-have been emitted -- no access path ever materialises the table.
+Query execution runs a tree of :class:`PlanNode` operators (Volcano-style):
+leaf ``Scan`` nodes wrap access paths, join operators compose them into
+left-deep chains, and the pipeline decorators of :mod:`repro.engine.plan`
+(Sort, TopK, GroupBy, Aggregate, Limit, Project) sit on top.  Every node is
+a row source -- rows flow through generator-based ``iter_rows`` pipelines --
+and every node owns its *own* :class:`ExecutionCounters`, so an executed
+plan reports per-node actual rows and pages (the EXPLAIN ANALYZE surface)
+while :meth:`PlanNode.total_counters` folds the tree back into whole-query
+totals.
 
-Multi-table queries compose the same pipelines.  Two operator families
-exist, all of them row sources (so left-deep chains nest naturally:
-``(A join B) join C`` is just a join operator whose outer source is another
-join operator):
+An :class:`ExecutionContext` travels down the pipeline carrying the
+counters to charge, the (legacy, context-level) LIMIT budget, the output
+projection and the per-query shared state.  Two composition rules keep the
+accounting straight:
+
+* pulling from a *child node* goes through :meth:`PlanNode.iter_rows`,
+  which re-homes the context onto that node's counters
+  (:meth:`PlanNode.adopt`) -- the child's physical work lands on the child;
+* *intra-node* sub-pipelines (the per-outer-row probe paths of a nested-
+  loop join, a hash join's build scan) run under
+  :meth:`ExecutionContext.child` contexts that share the operator's
+  counters -- work that has no node of its own lands on the operator that
+  caused it (probe work is routed to the join's ``inner_probe`` leaf).
+
+Two join operator families exist:
 
 * *tuple-at-a-time* probes (:class:`NestedLoopJoin`,
   :class:`IndexNestedLoopJoin`) pull rows from the outer source and bind
@@ -21,12 +34,11 @@ join operator):
   and stream the other input through it, turning the quadratic unindexed
   fallback into O(N + M) page reads.
 
-Child pipelines run under :meth:`ExecutionContext.child` contexts that share
-the parent's :class:`ExecutionCounters` -- physical work on every input
-lands in one place -- while the LIMIT budget and the projection stay with
-the root: a satisfied LIMIT stops the operator from pulling further probe
-rows, which in turn abandons the upstream generators mid-sweep, so the
-remaining pages are never read.
+LIMIT enforcement lives in the plan tree (:class:`repro.engine.plan.
+LimitNode` stops pulling once its budget is spent, which abandons every
+upstream generator mid-sweep so the remaining pages are never read); the
+context-level budget remains for access paths driven directly, outside a
+tree.
 
 ``AccessResult`` (in :mod:`repro.engine.access`) remains as the materialised
 view of one finished execution for callers that want all rows at once.
@@ -38,17 +50,17 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping, Protocol, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.cost import CostSplit
     from repro.engine.access import AccessResult
-    from repro.engine.query import Query
 
 
 @dataclass
 class ExecutionCounters:
-    """Counters charged by every stage of one query execution.
+    """Counters charged by one plan node (or one standalone execution).
 
-    One instance is shared by the whole plan: access paths charge pages and
-    rows as they sweep, join operators count the rows they merge, and the
-    root context counts the rows finally emitted to the caller.
+    Under a plan tree each node owns an instance, so per-node actual work is
+    observable after a run; access paths executed outside a tree charge the
+    single instance their context carries, exactly as before.
     """
 
     rows_examined: int = 0
@@ -58,6 +70,16 @@ class ExecutionCounters:
     #: Inner-path probes performed by join operators (one per outer row per
     #: join step).
     join_probes: int = 0
+    #: Rows this node produced to its consumer (the EXPLAIN ANALYZE
+    #: ``actual rows``); maintained by :meth:`PlanNode.iter_rows`.
+    rows_out: int = 0
+
+
+@dataclass
+class SharedQueryState:
+    """Per-execution state shared by every context of one plan tree."""
+
+    rewritten_sql: str | None = None
 
 
 @dataclass
@@ -85,12 +107,13 @@ class ExecutionContext:
     limit: int | None = None
     projection: tuple[str, ...] | None = None
     counters: ExecutionCounters = field(default_factory=ExecutionCounters)
-    #: Filled in by :class:`repro.engine.access.CorrelationMapScan`.
-    rewritten_sql: str | None = None
     count_output: bool = True
     #: False on join inner-probe contexts, whose rewritten SQL nobody reads
     #: -- lets the CM scan skip rendering it once per probe.
     report_rewritten_sql: bool = True
+    #: State shared by every context of one execution (a child or adopted
+    #: context sees the same object), e.g. the CM scan's rewritten SQL.
+    shared: SharedQueryState = field(default_factory=SharedQueryState)
 
     def __post_init__(self) -> None:
         if self.limit is not None and self.limit < 0:
@@ -98,34 +121,28 @@ class ExecutionContext:
         if self.projection is not None:
             self.projection = tuple(self.projection)
 
-    @classmethod
-    def for_query(
-        cls,
-        query: "Query",
-        *,
-        limit: int | None = None,
-        projection: Sequence[str] | None = None,
-    ) -> "ExecutionContext":
-        """A context honouring the query's LIMIT/projection, with overrides."""
-        if limit is None:
-            limit = query.limit
-        if projection is None:
-            projection = query.projection
-        return cls(
-            limit=limit,
-            projection=tuple(projection) if projection is not None else None,
-        )
+    @property
+    def rewritten_sql(self) -> str | None:
+        """The CM scan's rewritten SQL (shared across the whole plan)."""
+        return self.shared.rewritten_sql
+
+    @rewritten_sql.setter
+    def rewritten_sql(self, value: str | None) -> None:
+        self.shared.rewritten_sql = value
 
     def child(self) -> "ExecutionContext":
         """A context for a sub-pipeline feeding a parent operator.
 
-        The child shares the parent's :class:`ExecutionCounters`, so pages
-        and rows touched by either join input aggregate in one place, but it
-        carries no LIMIT budget (the parent decides when to stop pulling), no
-        projection (the parent needs whole rows to merge), and its emissions
-        do not count as output rows.
+        The child shares the parent's :class:`ExecutionCounters` (work of an
+        intra-node pipeline lands on the operator that caused it; a child
+        *node* re-homes the context onto its own counters via
+        :meth:`PlanNode.adopt`), but it carries no LIMIT budget (the parent
+        decides when to stop pulling), no projection (the parent needs whole
+        rows to merge), and its emissions do not count as output rows.
         """
-        return ExecutionContext(counters=self.counters, count_output=False)
+        return ExecutionContext(
+            counters=self.counters, count_output=False, shared=self.shared
+        )
 
     @property
     def limit_reached(self) -> bool:
@@ -155,7 +172,7 @@ class ExecutionContext:
 class RowSource(Protocol):
     """Anything that can stream rows under an :class:`ExecutionContext`.
 
-    Access paths and join operators both satisfy this protocol, which is what
+    Access paths and plan nodes both satisfy this protocol, which is what
     lets join operators nest into left-deep chains.
     """
 
@@ -166,18 +183,214 @@ class RowSource(Protocol):
     ) -> Iterator[dict[str, Any]]: ...  # pragma: no cover - protocol
 
 
+class PlanNode:
+    """One operator of a physical plan tree.
+
+    Every node is a row source with two faces:
+
+    * an *execution* face: :meth:`iter_rows` streams the node's output rows,
+      charging physical work to the node's own :attr:`actual` counters (the
+      context is re-homed via :meth:`adopt`, so a parent pulling from a
+      child automatically attributes the child's work to the child);
+    * a *planning* face: the planner stamps per-node estimates --
+      :attr:`est_rows`, :attr:`est_pages`, :attr:`cost_split` (this node's
+      own upfront/streaming cost) -- and the plan root additionally carries
+      :attr:`est_cost_ms` (the whole tree) and :attr:`structure` (the
+      pipeline rendering shown by ``Database.explain``).
+
+    ``EXPLAIN ANALYZE`` is nothing more than walking an executed tree and
+    printing both faces side by side (:func:`repro.engine.plan.render_plan`).
+    """
+
+    name = "node"
+    #: True for pipeline decorators (Sort/TopK/GroupBy/Aggregate/Limit/
+    #: Project) that plan ranking and result labelling look through: the
+    #: ``method`` of a decorated plan is the underlying scan's or join's.
+    is_decorator = False
+    #: Whether rows leaving this node are private dicts.  False only for
+    #: scans, whose rows are live heap-page dicts: whoever emits them to a
+    #: caller must copy first (``ExecutionContext.emit`` handles it).
+    produces_fresh_rows = True
+
+    def __init__(self) -> None:
+        #: Runtime counters of *this node's own* work, filled by execution.
+        self.actual = ExecutionCounters()
+        #: Planner estimate of the rows this node produces.
+        self.est_rows: float | None = None
+        #: Planner estimate of the heap pages this node reads itself.
+        self.est_pages: float | None = None
+        #: This node's own cost, split for LIMIT-aware selection.
+        self.cost_split: "CostSplit | None" = None
+        #: Whole-subtree estimated cost; set by the planner on plan roots.
+        self.est_cost_ms: float | None = None
+        #: The pipeline rendering (plan roots; ``Database.explain`` shows it).
+        self.structure: str = ""
+
+    # -- streaming interface --------------------------------------------------
+
+    def iter_rows(
+        self, context: ExecutionContext | None = None
+    ) -> Iterator[dict[str, Any]]:
+        """Stream output rows, charging this node's :attr:`actual` counters."""
+        context = self.adopt(context or ExecutionContext())
+        if context.limit_reached:
+            return
+        for row in self._stream(context):
+            self.actual.rows_out += 1
+            yield row
+
+    def _stream(self, context: ExecutionContext) -> Iterator[dict[str, Any]]:
+        raise NotImplementedError
+
+    def adopt(self, context: ExecutionContext) -> ExecutionContext:
+        """``context`` re-homed onto this node's counters (same budget/flags)."""
+        if context.counters is self.actual:
+            return context
+        return ExecutionContext(
+            limit=context.limit,
+            projection=context.projection,
+            counters=self.actual,
+            count_output=context.count_output,
+            report_rewritten_sql=context.report_rewritten_sql,
+            shared=context.shared,
+        )
+
+    def execute(self, context: ExecutionContext | None = None) -> "AccessResult":
+        """Materialise the stream into an :class:`AccessResult` (compatibility)."""
+        return materialize(self, context)
+
+    # -- tree structure -------------------------------------------------------
+
+    @property
+    def children(self) -> tuple["PlanNode", ...]:
+        return ()
+
+    def walk(self) -> Iterator["PlanNode"]:
+        """This node and every descendant, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def total_counters(self) -> ExecutionCounters:
+        """Whole-subtree totals (the old shared-counter view of a run)."""
+        total = ExecutionCounters()
+        for node in self.walk():
+            total.rows_examined += node.actual.rows_examined
+            total.pages_visited += node.actual.pages_visited
+            total.lookups += node.actual.lookups
+            total.join_probes += node.actual.join_probes
+        total.rows_out = self.actual.rows_out
+        total.rows_emitted = self.actual.rows_out
+        return total
+
+    # -- planner-facing views -------------------------------------------------
+
+    @property
+    def estimated_cost_ms(self) -> float:
+        """The planner's whole-tree estimate (plan roots)."""
+        return self.est_cost_ms if self.est_cost_ms is not None else 0.0
+
+    @property
+    def method(self) -> str:
+        """The plan's engine: the topmost non-decorator node's name."""
+        node: PlanNode = self
+        while node.is_decorator:
+            node = node.source  # type: ignore[attr-defined]
+        return node.name
+
+    def join_steps(self) -> list["JoinOperator"]:
+        """The join operators of this plan, root first (empty for scans)."""
+        node: PlanNode = self
+        while node.is_decorator:
+            node = node.source  # type: ignore[attr-defined]
+        steps: list[JoinOperator] = []
+        while isinstance(node, JoinOperator):
+            steps.append(node)
+            node = node.source  # type: ignore[assignment]
+        return steps
+
+    # -- display --------------------------------------------------------------
+
+    def describe_detail(self) -> str:
+        """The inner summary shown inside EXPLAIN labels (may be empty)."""
+        return ""
+
+    def label(self) -> str:
+        """One-line operator label for the EXPLAIN ANALYZE tree."""
+        detail = self.describe_detail()
+        return f"{self.name}[{detail}]" if detail else self.name
+
+
+class ScanNode(PlanNode):
+    """Leaf node wrapping one executable access path."""
+
+    produces_fresh_rows = False
+
+    def __init__(self, path: "RowSource") -> None:
+        super().__init__()
+        self.path = path
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return self.path.name
+
+    @property
+    def table(self):
+        """The scanned table (lets shared CPU-charging helpers reach the disk)."""
+        return self.path.table  # type: ignore[attr-defined]
+
+    def _stream(self, context: ExecutionContext) -> Iterator[dict[str, Any]]:
+        yield from self.path.iter_rows(context)
+
+    def label(self) -> str:
+        table = getattr(self.path, "table", None)
+        where = f"{table.name}: " if table is not None else ""
+        detail = self.structure or self.path.__class__.__name__
+        return f"{self.name}({where}{detail})"
+
+
+class ProbeNode(PlanNode):
+    """The repeatedly re-bound inner side of a tuple-at-a-time join.
+
+    Not independently streamable: the owning :class:`ProbeJoin` binds a
+    fresh inner access path per outer row and runs it under this node's
+    counters, so per-probe pages and rows show up as this leaf's actuals in
+    EXPLAIN ANALYZE.
+    """
+
+    name = "inner_probe"
+    produces_fresh_rows = False
+
+    def __init__(self, probe: "InnerProbe") -> None:
+        super().__init__()
+        self.probe = probe
+
+    def _stream(self, context: ExecutionContext) -> Iterator[dict[str, Any]]:
+        raise RuntimeError(
+            "probe nodes are driven per outer row by their join operator"
+        )
+
+    def label(self) -> str:
+        return f"{self.name}({self.probe.describe()})"
+
+
 def materialize(source: "RowSource", context: ExecutionContext | None = None):
     """Drain a row source into an :class:`~repro.engine.access.AccessResult`.
 
     The one place the stream-to-materialised conversion lives: both
-    :meth:`AccessPath.execute` and :meth:`JoinOperator.execute` delegate
-    here, so a counter added to ``AccessResult`` is wired up exactly once.
+    :meth:`AccessPath.execute` and :meth:`PlanNode.execute` delegate here,
+    so a counter added to ``AccessResult`` is wired up exactly once.  Plan
+    nodes report their whole-subtree totals; bare access paths report the
+    context's counters, as before.
     """
     from repro.engine.access import AccessResult
 
     context = context or ExecutionContext()
     rows = list(source.iter_rows(context))
-    counters = context.counters
+    if isinstance(source, PlanNode):
+        counters = source.total_counters()
+    else:
+        counters = context.counters
     return AccessResult(
         rows=rows,
         rows_examined=counters.rows_examined,
@@ -189,14 +402,15 @@ def materialize(source: "RowSource", context: ExecutionContext | None = None):
     )
 
 
-class JoinOperator:
-    """Base streaming equi-join operator: a row source over an outer input.
+class JoinOperator(PlanNode):
+    """Base streaming equi-join operator: a plan node over an outer input.
 
-    ``source`` is the outer input (an access path or another join operator).
-    Subclasses implement :meth:`_stream`, pulling from the outer source and
-    from whatever inner input they own under :meth:`ExecutionContext.child`
-    contexts, so the physical work of every input lands in the one shared
-    counter set.
+    ``source`` is the outer input (a plan node, or a bare access path when
+    composed by hand).  Subclasses implement :meth:`_stream`, pulling from
+    the outer source -- whose work, when it is a node, lands on its own
+    counters -- and from whatever inner input they own; intra-operator
+    pipelines run under :meth:`ExecutionContext.child` contexts, so their
+    work lands on this operator (or on its inner leaf node).
 
     Merged rows are ``{**outer, **inner}``; on the join keys both sides
     agree by construction, and :meth:`repro.engine.database.Database` rejects
@@ -209,37 +423,18 @@ class JoinOperator:
     strategy = ""
 
     def __init__(self, source: "RowSource") -> None:
+        super().__init__()
         self.source = source
 
-    # -- streaming interface --------------------------------------------------
-
-    def iter_rows(
-        self, context: ExecutionContext | None = None
-    ) -> Iterator[dict[str, Any]]:
-        """Stream merged rows, charging counters on ``context`` as they flow."""
-        context = context or ExecutionContext()
-        if context.limit_reached:
-            return
-        yield from self._stream(context)
-
-    def _stream(self, context: ExecutionContext) -> Iterator[dict[str, Any]]:
-        raise NotImplementedError
-
-    def _bubble_rewritten_sql(
-        self, context: ExecutionContext, outer_context: ExecutionContext
-    ) -> None:
-        """Surface a CM-driven outer path's rewritten SQL on the root context.
-
-        The outer path writes its rewritten SQL onto the child context it
-        runs under; copying it up makes join results report it the way
-        single-table CM scans do (nested joins bubble it all the way up).
-        """
-        if context.rewritten_sql is None:
-            context.rewritten_sql = outer_context.rewritten_sql
-
-    def execute(self, context: ExecutionContext | None = None) -> "AccessResult":
-        """Materialise the stream into an :class:`AccessResult` (compatibility)."""
-        return materialize(self, context)
+    @property
+    def children(self) -> tuple[PlanNode, ...]:
+        nodes = [self.source] if isinstance(self.source, PlanNode) else []
+        inner = getattr(self, "inner", None)
+        if inner is None:
+            inner = getattr(self, "inner_path", None)
+        if isinstance(inner, PlanNode):
+            nodes.append(inner)
+        return tuple(nodes)
 
     def describe_detail(self) -> str:
         """The inner-input summary shown inside EXPLAIN structure labels."""
@@ -273,21 +468,20 @@ class ProbeJoin(JoinOperator):
     def __init__(self, source: "RowSource", probe: "InnerProbe") -> None:
         super().__init__(source)
         self.probe = probe
+        #: Leaf node accumulating the per-probe inner-path work.
+        self.inner = ProbeNode(probe)
 
     def _stream(self, context: ExecutionContext) -> Iterator[dict[str, Any]]:
-        outer_context = context.child()
-        try:
-            for outer_row in self.source.iter_rows(outer_context):
-                context.counters.join_probes += 1
-                inner_path = self.probe.bind(outer_row)
-                inner_context = context.child()
-                inner_context.report_rewritten_sql = False
-                for inner_row in inner_path.iter_rows(inner_context):
-                    yield context.emit({**outer_row, **inner_row}, fresh=True)
-                    if context.limit_reached:
-                        return
-        finally:
-            self._bubble_rewritten_sql(context, outer_context)
+        for outer_row in self.source.iter_rows(context.child()):
+            context.counters.join_probes += 1
+            inner_path = self.probe.bind(outer_row)
+            inner_context = self.inner.adopt(context.child())
+            inner_context.report_rewritten_sql = False
+            for inner_row in inner_path.iter_rows(inner_context):
+                self.inner.actual.rows_out += 1
+                yield context.emit({**outer_row, **inner_row}, fresh=True)
+                if context.limit_reached:
+                    return
 
     def describe_detail(self) -> str:
         return self.probe.describe()
@@ -419,57 +613,42 @@ class HashJoin(JoinOperator):
         self._inner_key = _key_getter([inner for _outer, inner in self.join_on])
 
     def _stream(self, context: ExecutionContext) -> Iterator[dict[str, Any]]:
-        if self.build_side == "inner":
-            yield from self._stream_build_inner(context)
-        else:
-            yield from self._stream_build_outer(context)
+        # One implementation for both orientations: only which input builds,
+        # which key extracts, and the outer/inner roles of the merged dict
+        # depend on the build side.  Per-probe rewritten SQL is suppressed on
+        # whichever role the inner path plays (nobody reads it there).
+        build_inner = self.build_side == "inner"
+        build_source = self.inner_path if build_inner else self.source
+        probe_source = self.source if build_inner else self.inner_path
+        build_key = self._inner_key if build_inner else self._outer_key
+        probe_key = self._outer_key if build_inner else self._inner_key
 
-    def _stream_build_inner(self, context: ExecutionContext) -> Iterator[dict[str, Any]]:
         build_context = context.child()
-        build_context.report_rewritten_sql = False
-        table: dict[tuple[Any, ...], list[Mapping[str, Any]]] = {}
-        build_rows = 0
-        for row in self.inner_path.iter_rows(build_context):
-            table.setdefault(self._inner_key(row), []).append(row)
-            build_rows += 1
-        _charge_cpu(self.inner_path, build_rows)
-        if not table:
-            return  # empty build side: never pull a single probe row
-        outer_context = context.child()
-        probe_rows = 0
-        try:
-            for outer_row in self.source.iter_rows(outer_context):
-                context.counters.join_probes += 1
-                probe_rows += 1
-                for inner_row in table.get(self._outer_key(outer_row), ()):
-                    yield context.emit({**outer_row, **inner_row}, fresh=True)
-                    if context.limit_reached:
-                        return
-        finally:
-            _charge_cpu(self.inner_path, probe_rows)
-            self._bubble_rewritten_sql(context, outer_context)
-
-    def _stream_build_outer(self, context: ExecutionContext) -> Iterator[dict[str, Any]]:
-        outer_context = context.child()
+        if build_inner:
+            build_context.report_rewritten_sql = False
         table: dict[tuple[Any, ...], list[Mapping[str, Any]]] = {}
         build_rows = 0
         try:
-            for outer_row in self.source.iter_rows(outer_context):
-                table.setdefault(self._outer_key(outer_row), []).append(outer_row)
+            for row in build_source.iter_rows(build_context):
+                table.setdefault(build_key(row), []).append(row)
                 build_rows += 1
         finally:
             _charge_cpu(self.inner_path, build_rows)
-            self._bubble_rewritten_sql(context, outer_context)
         if not table:
-            return
+            return  # empty build side: never pull a single probe row
+
         probe_context = context.child()
-        probe_context.report_rewritten_sql = False
+        if not build_inner:
+            probe_context.report_rewritten_sql = False
         probe_rows = 0
         try:
-            for inner_row in self.inner_path.iter_rows(probe_context):
+            for probe_row in probe_source.iter_rows(probe_context):
                 context.counters.join_probes += 1
                 probe_rows += 1
-                for outer_row in table.get(self._inner_key(inner_row), ()):
+                for matched in table.get(probe_key(probe_row), ()):
+                    outer_row, inner_row = (
+                        (probe_row, matched) if build_inner else (matched, probe_row)
+                    )
                     yield context.emit({**outer_row, **inner_row}, fresh=True)
                     if context.limit_reached:
                         return
@@ -527,38 +706,34 @@ class SortMergeJoin(JoinOperator):
         )
 
     def _stream(self, context: ExecutionContext) -> Iterator[dict[str, Any]]:
-        outer_context = context.child()
-        try:
-            outer_rows: Iterable[Mapping[str, Any]]
-            if self.outer_sorted:
-                # Lazy: the outer already streams in key order, so the merge
-                # pulls outer rows on demand and a satisfied LIMIT stops the
-                # outer sweep exactly as the probe joins do.
-                outer_rows = self.source.iter_rows(outer_context)
-            else:
-                outer_rows = sorted(
-                    self.source.iter_rows(outer_context), key=self._outer_key
-                )
-                if not outer_rows:
-                    return  # nothing to merge: the inner is never read
-                _charge_cpu(self.inner_path, _sort_cpu_tuples(len(outer_rows)))
-            inner_context = context.child()
-            inner_context.report_rewritten_sql = False
+        outer_rows: Iterable[Mapping[str, Any]]
+        if self.outer_sorted:
+            # Lazy: the outer already streams in key order, so the merge
+            # pulls outer rows on demand and a satisfied LIMIT stops the
+            # outer sweep exactly as the probe joins do.
+            outer_rows = self.source.iter_rows(context.child())
+        else:
+            outer_rows = sorted(
+                self.source.iter_rows(context.child()), key=self._outer_key
+            )
+            if not outer_rows:
+                return  # nothing to merge: the inner is never read
+            _charge_cpu(self.inner_path, _sort_cpu_tuples(len(outer_rows)))
+        inner_context = context.child()
+        inner_context.report_rewritten_sql = False
 
-            def inner_in_key_order() -> Iterator[Mapping[str, Any]]:
-                if self.inner_sorted:
-                    # Heap order is key order: pull inner pages on demand,
-                    # so early termination leaves the rest unread.
-                    return self.inner_path.iter_rows(inner_context)
-                rows = sorted(
-                    self.inner_path.iter_rows(inner_context), key=self._inner_key
-                )
-                _charge_cpu(self.inner_path, _sort_cpu_tuples(len(rows)))
-                return iter(rows)
+        def inner_in_key_order() -> Iterator[Mapping[str, Any]]:
+            if self.inner_sorted:
+                # Heap order is key order: pull inner pages on demand,
+                # so early termination leaves the rest unread.
+                return self.inner_path.iter_rows(inner_context)
+            rows = sorted(
+                self.inner_path.iter_rows(inner_context), key=self._inner_key
+            )
+            _charge_cpu(self.inner_path, _sort_cpu_tuples(len(rows)))
+            return iter(rows)
 
-            yield from self._merge(outer_rows, inner_in_key_order, context)
-        finally:
-            self._bubble_rewritten_sql(context, outer_context)
+        yield from self._merge(outer_rows, inner_in_key_order, context)
 
     def _merge(
         self,

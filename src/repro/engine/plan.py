@@ -1,0 +1,452 @@
+"""Pipeline decorator nodes of the physical plan tree, plus its rendering.
+
+The planner composes every query into one tree of
+:class:`~repro.engine.executor.PlanNode` operators.  The *input* of the tree
+-- scans and join operators -- lives in :mod:`repro.engine.access` and
+:mod:`repro.engine.executor`; this module provides the decorators stacked on
+top, bottom-up in this order:
+
+``AggregateNode`` / ``GroupByNode``
+    Streaming scalar aggregation (count/sum/avg reduce the row stream with
+    O(1) state, count_distinct keeps only the distinct-value set) and hash
+    aggregation with one output row per group.
+
+``SortNode`` / ``TopKNode``
+    Explicit ORDER BY.  A full sort buffers and sorts the input; combined
+    with a LIMIT the planner fuses both into a TopK node that keeps a
+    bounded k-heap instead -- the input is still read exactly once and only
+    k rows are ever retained.  When the chosen input already streams in the
+    requested order the planner plans the sort away entirely.
+
+``LimitNode`` / ``ProjectNode``
+    LIMIT stops pulling from its child once the budget is spent, which
+    abandons every upstream generator mid-sweep (remaining heap pages are
+    never read); projection trims emitted rows to the requested columns
+    (residual predicates below still see whole rows).
+
+NULL ordering follows PostgreSQL: NULLs sort last ascending and first
+descending.  Ties under a LIMIT resolve by input order (the sort is stable;
+the k-heap keeps the first-seen row of a tied key).
+
+:func:`render_plan` walks an executed tree and prints one line per node with
+the planner's estimates next to the node's actual counters -- the
+``Database.explain_analyze`` surface.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+from repro.core.cost import sort_comparison_count, top_k_comparison_count
+from repro.engine.executor import ExecutionContext, PlanNode
+from repro.engine.query import Aggregate
+
+
+# ---------------------------------------------------------------------------
+# Sort keys: direction- and NULL-aware comparison
+# ---------------------------------------------------------------------------
+
+class SortKey:
+    """One row's value under one ORDER BY column, totally ordered.
+
+    Wraps the raw value so that ``sorted``/``heapq`` never compare ``None``
+    with a real value: NULLs rank last ascending, first descending (the
+    PostgreSQL defaults), and a descending column simply inverts the
+    comparison -- which keeps multi-column keys with mixed directions a
+    plain tuple comparison.
+    """
+
+    __slots__ = ("value", "ascending")
+
+    def __init__(self, value: Any, ascending: bool) -> None:
+        self.value = value
+        self.ascending = ascending
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SortKey) and self.value == other.value
+
+    def __lt__(self, other: "SortKey") -> bool:
+        a, b = (
+            (self.value, other.value)
+            if self.ascending
+            else (other.value, self.value)
+        )
+        if a is None:
+            return False  # NULLs last in the ascending frame
+        if b is None:
+            return True
+        return a < b
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SortKey({self.value!r}, {'asc' if self.ascending else 'desc'})"
+
+
+def sort_key_function(
+    ordering: Sequence[tuple[str, bool]],
+) -> Callable[[Mapping[str, Any]], tuple[SortKey, ...]]:
+    """A row -> comparable-key function for ``((column, ascending), ...)``."""
+    ordering = tuple(ordering)
+
+    def key_of(row: Mapping[str, Any]) -> tuple[SortKey, ...]:
+        return tuple(SortKey(row[column], ascending) for column, ascending in ordering)
+
+    return key_of
+
+
+class _MaxHeapEntry:
+    """Inverts comparisons so ``heapq``'s min-heap keeps the k *smallest*."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: Any) -> None:
+        self.key = key
+
+    def __lt__(self, other: "_MaxHeapEntry") -> bool:
+        return other.key < self.key
+
+
+def _ordering_text(ordering: Sequence[tuple[str, bool]]) -> str:
+    return ", ".join(
+        column if ascending else f"{column} DESC" for column, ascending in ordering
+    )
+
+
+# ---------------------------------------------------------------------------
+# Decorator nodes
+# ---------------------------------------------------------------------------
+
+class DecoratorNode(PlanNode):
+    """A single-child pipeline node stacked above the scan/join input tree."""
+
+    is_decorator = True
+
+    def __init__(self, source: PlanNode, *, disk=None) -> None:
+        super().__init__()
+        self.source = source
+        #: The simulated disk to charge in-operator CPU work to (optional so
+        #: hand-built trees stay runnable without a database).
+        self.disk = disk
+
+    @property
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.source,) if isinstance(self.source, PlanNode) else ()
+
+    @property
+    def source_fresh(self) -> bool:
+        return getattr(self.source, "produces_fresh_rows", True)
+
+    def _charge_cpu(self, tuples: float) -> None:
+        if self.disk is not None and tuples > 0:
+            self.disk.charge_cpu_tuples(int(tuples))
+
+
+class SortNode(DecoratorNode):
+    """Full in-memory ORDER BY: buffer the input, sort, re-emit.
+
+    Stable, so ties keep their input order.  ``rows_in`` records how many
+    rows were buffered (surfaced by ``QueryResult.summary()``); the
+    comparison CPU is charged to the simulated disk with the same
+    ``n log2 n`` count the cost model prices.
+    """
+
+    name = "sort"
+
+    def __init__(
+        self, source: PlanNode, ordering: Sequence[tuple[str, bool]], *, disk=None
+    ) -> None:
+        super().__init__(source, disk=disk)
+        self.ordering = tuple(ordering)
+        self.rows_in = 0
+
+    @property
+    def produces_fresh_rows(self) -> bool:  # type: ignore[override]
+        return self.source_fresh
+
+    def _stream(self, context: ExecutionContext) -> Iterator[dict[str, Any]]:
+        rows = list(self.source.iter_rows(context.child()))
+        self.rows_in = len(rows)
+        self._charge_cpu(sort_comparison_count(len(rows)))
+        rows.sort(key=sort_key_function(self.ordering))
+        fresh = self.source_fresh
+        for row in rows:
+            yield context.emit(row, fresh=fresh)
+
+    def describe_detail(self) -> str:
+        return _ordering_text(self.ordering)
+
+    def stats(self) -> str:
+        return f"sort buffered {self.rows_in} rows"
+
+
+class TopKNode(DecoratorNode):
+    """ORDER BY + LIMIT k fused into a bounded k-heap (no full sort).
+
+    The input streams through a max-heap of at most ``k`` entries: a row
+    enters only when it beats the current k-th best, so memory stays O(k)
+    and the comparison work is ``n log2 k`` -- while the input is still read
+    exactly once (a TopK adds zero page reads over its child).  Ties keep
+    the first-seen row, matching the stable full sort.
+    """
+
+    name = "topk"
+
+    def __init__(
+        self,
+        source: PlanNode,
+        ordering: Sequence[tuple[str, bool]],
+        k: int,
+        *,
+        disk=None,
+    ) -> None:
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        super().__init__(source, disk=disk)
+        self.ordering = tuple(ordering)
+        self.k = k
+        self.rows_in = 0
+
+    @property
+    def produces_fresh_rows(self) -> bool:  # type: ignore[override]
+        return self.source_fresh
+
+    def _stream(self, context: ExecutionContext) -> Iterator[dict[str, Any]]:
+        if self.k == 0:
+            return
+        key_of = sort_key_function(self.ordering)
+        heap: list[tuple[_MaxHeapEntry, dict[str, Any]]] = []
+        seq = 0
+        for row in self.source.iter_rows(context.child()):
+            # seq breaks key ties deterministically (first-seen wins: a tied
+            # newcomer has a larger seq, so it never displaces the holder).
+            entry_key = (key_of(row), seq)
+            seq += 1
+            if len(heap) < self.k:
+                heapq.heappush(heap, (_MaxHeapEntry(entry_key), row))
+            elif entry_key < heap[0][0].key:
+                heapq.heapreplace(heap, (_MaxHeapEntry(entry_key), row))
+        self.rows_in = seq
+        self._charge_cpu(top_k_comparison_count(seq, self.k))
+        fresh = self.source_fresh
+        for entry in sorted(heap, key=lambda item: item[0].key):
+            yield context.emit(entry[1], fresh=fresh)
+
+    def describe_detail(self) -> str:
+        return f"{_ordering_text(self.ordering)}, k={self.k}"
+
+    def stats(self) -> str:
+        return f"top-{self.k} heap over {self.rows_in} rows"
+
+
+class AggregateNode(DecoratorNode):
+    """Streaming scalar aggregation: reduce the input to one value.
+
+    count/sum/avg hold O(1) running state; count_distinct holds the distinct
+    value set (the only part of the stream it must remember).  Emits exactly
+    one row ``{aggregate.output_name: value}`` once the input is exhausted;
+    the value is also kept on :attr:`value` for ``QueryResult``.
+    """
+
+    name = "aggregate"
+
+    def __init__(self, source: PlanNode, aggregate: Aggregate, *, disk=None) -> None:
+        super().__init__(source, disk=disk)
+        self.aggregate = aggregate
+        self.rows_in = 0
+        self.value: Any = None
+
+    def _stream(self, context: ExecutionContext) -> Iterator[dict[str, Any]]:
+        accumulator = self.aggregate.make_accumulator()
+        rows_in = 0
+        for row in self.source.iter_rows(context.child()):
+            accumulator.add(row)
+            rows_in += 1
+        self.rows_in = rows_in
+        self._charge_cpu(rows_in)
+        self.value = accumulator.result()
+        yield context.emit({self.aggregate.output_name: self.value}, fresh=True)
+
+    def describe_detail(self) -> str:
+        return self.aggregate.output_name
+
+
+class GroupByNode(DecoratorNode):
+    """Hash aggregation: one accumulator per distinct group-key combination.
+
+    Output rows hold the group columns plus the aggregate value under
+    :attr:`Aggregate.output_name`, in first-seen group order (deterministic
+    for a deterministic input stream).  Only the accumulators are buffered,
+    never the input rows.
+    """
+
+    name = "hash_group"
+
+    def __init__(
+        self,
+        source: PlanNode,
+        group_columns: Sequence[str],
+        aggregate: Aggregate,
+        *,
+        disk=None,
+    ) -> None:
+        super().__init__(source, disk=disk)
+        self.group_columns = tuple(group_columns)
+        self.aggregate = aggregate
+        self.rows_in = 0
+        self.groups_out = 0
+
+    def _stream(self, context: ExecutionContext) -> Iterator[dict[str, Any]]:
+        groups: dict[tuple[Any, ...], Any] = {}
+        columns = self.group_columns
+        rows_in = 0
+        for row in self.source.iter_rows(context.child()):
+            key = tuple(row[column] for column in columns)
+            accumulator = groups.get(key)
+            if accumulator is None:
+                accumulator = groups[key] = self.aggregate.make_accumulator()
+            accumulator.add(row)
+            rows_in += 1
+        self.rows_in = rows_in
+        self.groups_out = len(groups)
+        self._charge_cpu(rows_in)
+        output_name = self.aggregate.output_name
+        for key, accumulator in groups.items():
+            merged = dict(zip(columns, key))
+            merged[output_name] = accumulator.result()
+            yield context.emit(merged, fresh=True)
+
+    def describe_detail(self) -> str:
+        return f"{', '.join(self.group_columns)}: {self.aggregate.output_name}"
+
+
+class LimitNode(DecoratorNode):
+    """Stop pulling from the child once ``k`` rows have been emitted.
+
+    Closing the child generator mid-stream abandons every upstream pipeline
+    at its current yield point, so heap pages past the last consumed row are
+    never read -- the same early termination the context-level budget used
+    to provide, now owned by an explicit plan node.
+    """
+
+    name = "limit"
+
+    def __init__(self, source: PlanNode, k: int, *, disk=None) -> None:
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        super().__init__(source, disk=disk)
+        self.k = k
+
+    @property
+    def produces_fresh_rows(self) -> bool:  # type: ignore[override]
+        return self.source_fresh
+
+    def _stream(self, context: ExecutionContext) -> Iterator[dict[str, Any]]:
+        if self.k == 0:
+            return
+        produced = 0
+        fresh = self.source_fresh
+        for row in self.source.iter_rows(context.child()):
+            yield context.emit(row, fresh=fresh)
+            produced += 1
+            if produced >= self.k:
+                return
+
+    def describe_detail(self) -> str:
+        return str(self.k)
+
+
+class ProjectNode(DecoratorNode):
+    """Trim emitted rows to the requested columns (applied at the top, so
+    residual predicates and sort keys below still see whole rows)."""
+
+    name = "project"
+
+    def __init__(self, source: PlanNode, columns: Sequence[str], *, disk=None) -> None:
+        super().__init__(source, disk=disk)
+        self.columns = tuple(columns)
+
+    def _stream(self, context: ExecutionContext) -> Iterator[dict[str, Any]]:
+        columns = self.columns
+        for row in self.source.iter_rows(context.child()):
+            yield context.emit(
+                {column: row[column] for column in columns}, fresh=True
+            )
+
+    def describe_detail(self) -> str:
+        return ", ".join(self.columns)
+
+
+def find_node(root: PlanNode, node_type: type) -> Any:
+    """The first node of ``node_type`` in the tree (pre-order), or ``None``."""
+    for node in root.walk():
+        if isinstance(node, node_type):
+            return node
+    return None
+
+
+def sort_stats(root: PlanNode) -> str | None:
+    """The Sort/TopK work a plan performed, for ``QueryResult.summary()``."""
+    for node in root.walk():
+        if isinstance(node, (SortNode, TopKNode)):
+            return node.stats()
+    return None
+
+
+# ---------------------------------------------------------------------------
+# EXPLAIN ANALYZE rendering
+# ---------------------------------------------------------------------------
+
+def _format_count(value: float | int | None) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return str(int(round(value)))
+    return str(value)
+
+
+def _node_line(node: PlanNode) -> str:
+    # An inner node shows its *own* cost (the raw formula split); a node
+    # carrying a planner-stamped `est_cost_ms` shows that instead -- the
+    # clamped, LIMIT-aware figure, which on a node with children is the
+    # whole-subtree total and is labelled as such to keep the column
+    # honestly non-additive.
+    if node.est_cost_ms is not None:
+        label = "est_ms_total" if node.children else "est_ms"
+        cost = f"{label}={node.est_cost_ms:.2f}"
+    elif node.cost_split is not None:
+        cost = f"est_ms={node.cost_split.total_ms:.2f}"
+    else:
+        cost = "est_ms=-"
+    return (
+        f"{node.label()}  "
+        f"(rows est={_format_count(node.est_rows)} act={node.actual.rows_out}, "
+        f"pages est={_format_count(node.est_pages)} act={node.actual.pages_visited}, "
+        f"{cost})"
+    )
+
+
+def render_plan(root: PlanNode) -> str:
+    """One line per node: label, estimated vs actual rows/pages, node cost.
+
+    Children are indented with tree guides; the per-node ``act`` counters
+    cover only that node's own work, so summing a column reproduces the
+    whole-query totals of :meth:`PlanNode.total_counters`.
+    """
+    lines: list[str] = []
+
+    def emit(node: PlanNode, prefix: str, connector: str, child_prefix: str) -> None:
+        lines.append(f"{prefix}{connector}{_node_line(node)}")
+        children = node.children
+        for position, child in enumerate(children):
+            last = position == len(children) - 1
+            emit(
+                child,
+                child_prefix,
+                "└─ " if last else "├─ ",
+                child_prefix + ("   " if last else "│  "),
+            )
+
+    emit(root, "", "", "")
+    return "\n".join(lines)

@@ -1,4 +1,9 @@
-"""Cost-based plan selection: access paths and pipelined join orders.
+"""Cost-based planning: physical operator trees for scans, joins and more.
+
+The planner turns a declarative :class:`~repro.engine.query.Query` into an
+executable tree of :class:`~repro.engine.executor.PlanNode` operators and
+costs every candidate tree bottom-up from reservoir-sample statistics --
+plan enumeration performs **zero heap page reads**.
 
 For single-table queries the planner enumerates the applicable access paths
 -- sequential scan, sorted secondary-index scan, clustered-index scan and
@@ -18,13 +23,26 @@ the unindexed case in O(N + M) pages: a streaming hash join (building the
 sampled-smaller input's hash table) and a sort-merge join (merging for free
 when an input already streams in join-key order, spilling to an explicit
 sort charged from sampled row counts otherwise).  The CM inner path is the
-paper's central idea
-applied across tables: when the join key is correlated with the inner
-table's clustered key, each probe resolves through the tiny memory-resident
-CM into a couple of clustered buckets instead of a B+Tree descent per
-matching tuple.  Join cardinalities come from the tables' reservoir samples
-(:func:`repro.core.statistics.join_fanout`), so join planning -- like
-single-table planning -- performs zero heap page reads.
+paper's central idea applied across tables: when the join key is correlated
+with the inner table's clustered key, each probe resolves through the tiny
+memory-resident CM into a couple of clustered buckets instead of a B+Tree
+descent per matching tuple.  Join cardinalities come from the tables'
+reservoir samples (:func:`repro.core.statistics.join_fanout`).
+
+On top of the scan/join input tree the planner stacks the pipeline
+decorators of :mod:`repro.engine.plan`, bottom-up: GroupBy/Aggregate, then
+Sort -- fused with a LIMIT into a bounded k-heap TopK -- then Limit and
+Project.  Two ordering-aware rules matter:
+
+* **free ORDER BY**: when the chosen input already streams in the requested
+  order (any sweep path over a table clustered on the sort column, a merge
+  join on it, probe/hash chains that preserve the driver's order), the Sort
+  node is planned away entirely and the LIMIT keeps terminating the scan
+  early;
+* **blocking awareness**: a Sort/TopK/Aggregate consumes its whole input,
+  so the LIMIT is *not* pushed into the scan/join costing beneath one --
+  exactly as a hash build of the outer input already blocked the stream in
+  the join costing.
 
 A specific access method or join strategy can also be forced, which is how
 the benchmarks compare plans against each other.
@@ -41,15 +59,19 @@ from repro.core.cost import (
     CostSplit,
     cm_lookup_cost,
     cm_lookup_cost_split,
+    hash_group_cost,
     hash_join_cost,
     index_nested_loop_join_cost,
     limited_cost,
     nested_loop_join_cost,
     pipelined_lookup_cost,
+    scalar_aggregate_cost,
     scan_cost,
+    sort_cost,
     sort_merge_join_cost,
     sorted_lookup_cost,
     sorted_lookup_cost_split,
+    top_k_cost,
 )
 from repro.core.model import HardwareParameters
 from repro.core.statistics import join_fanout
@@ -67,7 +89,17 @@ from repro.engine.executor import (
     IndexNestedLoopJoin,
     JoinOperator,
     NestedLoopJoin,
+    PlanNode,
+    ScanNode,
     SortMergeJoin,
+)
+from repro.engine.plan import (
+    AggregateNode,
+    GroupByNode,
+    LimitNode,
+    ProjectNode,
+    SortNode,
+    TopKNode,
 )
 from repro.engine.predicates import Between, Equals, InSet, PredicateSet
 from repro.engine.query import Query
@@ -99,38 +131,23 @@ _FORCE_JOIN_OPERATORS = {
 }
 
 
-@dataclass
-class PlannedAccess:
-    """One candidate plan with its estimated cost.
+@dataclass(frozen=True)
+class _RawScan:
+    """One applicable access path before LIMIT-aware costing.
 
-    ``path`` is the executable plan root: an :class:`AccessPath` for
-    single-table queries or a :class:`~repro.engine.executor.JoinOperator`
-    for joins (both stream through ``iter_rows``/``execute``).
-    ``cost_split``, when present, is the upfront/streaming decomposition of
-    ``estimated_cost_ms`` used by LIMIT-aware selection.
+    The raw candidates are shared between single-table planning, join-driver
+    selection and the decorator layer, so the Section 4 formulas are
+    evaluated exactly once per path.
     """
 
-    path: AccessPath | JoinOperator
-    estimated_cost_ms: float
-    structure: str = ""
-    cost_split: CostSplit | None = None
-
-    @property
-    def method(self) -> str:
-        return self.path.name
-
-    def join_steps(self) -> list[JoinOperator]:
-        """The join operators of this plan, root first (empty for scans)."""
-        steps: list[JoinOperator] = []
-        node = self.path
-        while isinstance(node, JoinOperator):
-            steps.append(node)
-            node = node.source  # type: ignore[assignment]
-        return steps
+    path: AccessPath
+    structure: str
+    split: CostSplit
+    unlimited_ms: float
 
 
 class Planner:
-    """Chooses access paths and join plans for queries over one database."""
+    """Chooses physical plan trees for queries over one database."""
 
     def __init__(self, hardware: HardwareParameters) -> None:
         self.hardware = hardware
@@ -170,42 +187,18 @@ class Planner:
 
     # -- candidate enumeration (single table) -------------------------------------
 
-    def candidate_plans(
-        self, table: Table, query: Query, *, limit: int | None = None
-    ) -> list[PlannedAccess]:
-        """All applicable access paths for ``query``'s predicates, costed.
-
-        With ``limit`` given, candidates are costed for producing
-        ``min(limit, estimated_result_rows)`` rows: the streaming part of
-        each cost split is scaled by the fraction of the result the limit
-        asks for, while upfront index descents are charged in full (see
-        :func:`repro.core.cost.limited_cost`).  Without a limit the costs
-        are exactly the Section 4 formulas.
-        """
-        return self._candidate_scan_plans(table, query.predicates, limit=limit)
-
-    def _candidate_scan_plans(
-        self, table: Table, predicates: PredicateSet, *, limit: int | None = None
-    ) -> list[PlannedAccess]:
+    def _raw_scan_candidates(
+        self, table: Table, predicates: PredicateSet
+    ) -> list[_RawScan]:
+        """Every applicable access path with its Section 4 cost split."""
         profile = table.table_profile()
-        est_rows = table.estimate_matching_rows(predicates) if limit is not None else 0.0
-
-        def costed(split: CostSplit, unlimited_ms: float) -> float:
-            # A limit only changes the costing when it actually bites: the
-            # full-result formulas clamp upfront+streaming jointly, so fall
-            # back to them whenever every matching row will be produced.
-            if limit is None or est_rows < 1.0 or limit >= est_rows:
-                return unlimited_ms
-            return limited_cost(split, est_rows, limit)
-
         full_scan = scan_cost(profile, self.hardware)
-        scan_split = CostSplit(0.0, full_scan)
-        plans = [
-            PlannedAccess(
+        raws = [
+            _RawScan(
                 path=SeqScan(table, predicates),
-                estimated_cost_ms=costed(scan_split, full_scan),
                 structure="heap",
-                cost_split=scan_split,
+                split=CostSplit(0.0, full_scan),
+                unlimited_ms=full_scan,
             )
         ]
 
@@ -217,15 +210,12 @@ class Planner:
         ):
             n = self._estimate_n_lookups(table, predicates, [table.clustered_attribute])
             corr = table.correlation_profile(table.clustered_attribute)
-            split = sorted_lookup_cost_split(n, corr, profile, self.hardware)
-            plans.append(
-                PlannedAccess(
+            raws.append(
+                _RawScan(
                     path=ClusteredIndexScan(table, predicates),
-                    estimated_cost_ms=costed(
-                        split, sorted_lookup_cost(n, corr, profile, self.hardware)
-                    ),
                     structure=f"clustered({table.clustered_attribute})",
-                    cost_split=split,
+                    split=sorted_lookup_cost_split(n, corr, profile, self.hardware),
+                    unlimited_ms=sorted_lookup_cost(n, corr, profile, self.hardware),
                 )
             )
 
@@ -236,15 +226,12 @@ class Planner:
                 continue
             n = self._estimate_n_lookups(table, predicates, index.attributes)
             corr = table.correlation_profile(list(index.attributes))
-            split = sorted_lookup_cost_split(n, corr, profile, self.hardware)
-            plans.append(
-                PlannedAccess(
+            raws.append(
+                _RawScan(
                     path=SortedIndexScan(table, index, predicates),
-                    estimated_cost_ms=costed(
-                        split, sorted_lookup_cost(n, corr, profile, self.hardware)
-                    ),
                     structure=name,
-                    cost_split=split,
+                    split=sorted_lookup_cost_split(n, corr, profile, self.hardware),
+                    unlimited_ms=sorted_lookup_cost(n, corr, profile, self.hardware),
                 )
             )
 
@@ -258,15 +245,94 @@ class Planner:
                 cm_pages=cm.size_pages(),
                 cm_resident=True,
             )
-            split = cm_lookup_cost_split(n, inputs, profile, self.hardware)
-            plans.append(
-                PlannedAccess(
+            raws.append(
+                _RawScan(
                     path=CorrelationMapScan(table, cm, predicates),
-                    estimated_cost_ms=costed(
-                        split, cm_lookup_cost(n, inputs, profile, self.hardware)
-                    ),
                     structure=name,
-                    cost_split=split,
+                    split=cm_lookup_cost_split(n, inputs, profile, self.hardware),
+                    unlimited_ms=cm_lookup_cost(n, inputs, profile, self.hardware),
+                )
+            )
+        return raws
+
+    def _scan_node(
+        self, table: Table, raw: _RawScan, est_rows: float, limit: int | None
+    ) -> ScanNode:
+        """An executable, costed leaf for one raw candidate.
+
+        A limit only changes the costing when it actually bites: the
+        full-result formulas clamp upfront+streaming jointly, so fall back
+        to them whenever every matching row will be produced.
+        """
+        if limit is None or est_rows < 1.0 or limit >= est_rows:
+            cost = raw.unlimited_ms
+        else:
+            cost = limited_cost(raw.split, est_rows, limit)
+        node = ScanNode(raw.path)
+        node.structure = raw.structure
+        node.cost_split = raw.split
+        node.est_cost_ms = cost
+        node.est_rows = est_rows
+        node.est_pages = self._est_pages(raw.split, table)
+        return node
+
+    def _est_pages(self, split: CostSplit, table: Table) -> float:
+        """Rough page estimate: the streaming cost re-read as sequential pages."""
+        if self.hardware.seq_page_cost_ms <= 0:
+            return float(table.num_pages)
+        return min(
+            float(table.num_pages), split.streaming_ms / self.hardware.seq_page_cost_ms
+        )
+
+    def _candidate_scan_plans(
+        self, table: Table, predicates: PredicateSet, *, limit: int | None = None
+    ) -> list[ScanNode]:
+        """Bare (undecorated) scan candidates -- also the join-driver pool."""
+        est_rows = table.estimate_matching_rows(predicates)
+        return [
+            self._scan_node(table, raw, est_rows, limit)
+            for raw in self._raw_scan_candidates(table, predicates)
+        ]
+
+    def candidate_plans(
+        self,
+        table: Table,
+        query: Query,
+        *,
+        limit: int | None = None,
+        projection: Sequence[str] | None = None,
+    ) -> list[PlanNode]:
+        """All applicable plan trees for ``query``, costed bottom-up.
+
+        Each candidate is a full operator tree: the access path plus the
+        Aggregate/GroupBy/Sort/TopK/Limit/Project decorators the query asks
+        for.  With ``limit`` given, fully streaming candidates are costed
+        for producing ``min(limit, estimated_result_rows)`` rows (see
+        :func:`repro.core.cost.limited_cost`); a candidate whose tree blocks
+        -- an aggregate, or an ORDER BY its stream does not already satisfy
+        -- is costed for the full input drain instead.
+        """
+        if projection is None:
+            projection = query.projection
+        est_rows = table.estimate_matching_rows(query.predicates)
+        plans = []
+        for raw in self._raw_scan_candidates(table, query.predicates):
+            ordering = raw.path.output_ordering()
+            sort_needed = bool(query.ordering) and not self._ordering_satisfied(
+                ordering, query.ordering
+            )
+            blocking = query.aggregate is not None or sort_needed
+            node = self._scan_node(table, raw, est_rows, None if blocking else limit)
+            plans.append(
+                self._decorate(
+                    node,
+                    query,
+                    limit=limit,
+                    projection=projection,
+                    input_rows=est_rows,
+                    input_ordering=ordering,
+                    tables=[table],
+                    disk=table.buffer_pool.disk,
                 )
             )
         return plans
@@ -299,6 +365,142 @@ class Planner:
         profile = table.correlation_profile(table.clustered_attribute)
         return max(1.0, profile.c_pages(table.tups_per_page))
 
+    # -- ordering analysis ---------------------------------------------------------
+
+    @staticmethod
+    def _ordering_satisfied(stream_ordering, required) -> bool:
+        """Whether a stream's known ordering covers the requested ORDER BY.
+
+        ``stream_ordering`` entries are ``(column_or_column_set, ascending)``
+        -- a merge join's output is simultaneously ordered under both join
+        key names, hence the set form.  The requested order must be an
+        ascending prefix of the stream's (a stream sorted by ``(a, b)``
+        satisfies ``ORDER BY a`` because the sort is stable, but never a
+        descending request: heaps only flow forward).
+        """
+        if len(required) > len(stream_ordering):
+            return False
+        for (column, ascending), entry in zip(required, stream_ordering):
+            columns, stream_ascending = entry
+            if isinstance(columns, str):
+                columns = {columns}
+            if not ascending or not stream_ascending or column not in columns:
+                return False
+        return True
+
+    def _estimate_groups(
+        self, tables: Sequence[Table], grouping: Sequence[str], est_input_rows: float
+    ) -> float:
+        """Expected distinct group count, from the reservoir samples.
+
+        When one table owns every group column its composite-key cardinality
+        is used directly; otherwise (grouping across join sides) the
+        per-column cardinalities multiply, capped by the input size -- the
+        textbook independence assumption.
+        """
+        grouping = list(grouping)
+        for table in tables:
+            if all(table.schema.has_column(column) for column in grouping):
+                distinct = float(table.key_cardinality(grouping))
+                return max(0.0, min(est_input_rows, distinct))
+        product = 1.0
+        for column in grouping:
+            owner = next(
+                (t for t in tables if t.schema.has_column(column)), None
+            )
+            if owner is not None:
+                product *= max(1.0, float(owner.attribute_cardinality(column)))
+        return max(0.0, min(est_input_rows, product))
+
+    # -- decorator layer -----------------------------------------------------------
+
+    def _decorate(
+        self,
+        node: PlanNode,
+        query: Query,
+        *,
+        limit: int | None,
+        projection: Sequence[str] | None,
+        input_rows: float,
+        input_ordering,
+        tables: Sequence[Table],
+        disk,
+    ) -> PlanNode:
+        """Stack Aggregate/GroupBy, Sort/TopK, Limit, Project over ``node``.
+
+        Costs accumulate bottom-up: the input tree's ``est_cost_ms`` (already
+        LIMIT-aware when the pipeline streams) plus each decorator's own
+        :class:`CostSplit`.  The finished root carries the whole-tree cost
+        and the pipeline ``structure`` string.
+        """
+        total = node.est_cost_ms if node.est_cost_ms is not None else 0.0
+        structure = node.structure
+        est = input_rows
+        ordering = input_ordering
+        current = node
+        hw = self.hardware
+
+        if query.aggregate is not None:
+            if query.grouping:
+                groups = self._estimate_groups(tables, query.grouping, est)
+                split = hash_group_cost(est, groups, hw)
+                current = GroupByNode(
+                    current, query.grouping, query.aggregate, disk=disk
+                )
+                est = groups
+                structure += (
+                    f" -> hash_group({', '.join(query.grouping)}: "
+                    f"{query.aggregate.output_name})"
+                )
+            else:
+                split = scalar_aggregate_cost(est, hw)
+                current = AggregateNode(current, query.aggregate, disk=disk)
+                est = 1.0
+                structure += f" -> aggregate({query.aggregate.output_name})"
+            current.est_rows = est
+            current.est_pages = 0.0
+            current.cost_split = split
+            total += split.total_ms
+            ordering = ()  # hash aggregation scrambles any input order
+
+        limit_fused = False
+        if query.ordering:
+            if self._ordering_satisfied(ordering, query.ordering):
+                pass  # free ORDER BY: the stream already flows in order
+            elif limit is not None:
+                split = top_k_cost(est, limit, hw)
+                current = TopKNode(current, query.ordering, limit, disk=disk)
+                est = min(est, float(limit))
+                current.est_rows = est
+                current.est_pages = 0.0
+                current.cost_split = split
+                total += split.total_ms
+                structure += f" -> topk({current.describe_detail()})"
+                limit_fused = True
+            else:
+                split = sort_cost(est, hw)
+                current = SortNode(current, query.ordering, disk=disk)
+                current.est_rows = est
+                current.est_pages = 0.0
+                current.cost_split = split
+                total += split.total_ms
+                structure += f" -> sort({current.describe_detail()})"
+
+        if limit is not None and not limit_fused:
+            current = LimitNode(current, limit, disk=disk)
+            est = min(est, float(limit))
+            current.est_rows = est
+            current.est_pages = 0.0
+
+        if projection is not None:
+            current = ProjectNode(current, projection, disk=disk)
+            current.est_rows = est
+            current.est_pages = 0.0
+
+        current.est_cost_ms = total
+        current.structure = structure
+        return current
+
     # -- selection (single table) ---------------------------------------------------
 
     def choose(
@@ -308,29 +510,41 @@ class Planner:
         *,
         force: str | None = None,
         limit: int | None = None,
-    ) -> PlannedAccess:
-        """Pick the cheapest applicable plan (or the forced one).
+        projection: Sequence[str] | None = None,
+    ) -> PlanNode:
+        """Pick the cheapest applicable plan tree (or the forced one).
 
-        ``limit`` makes selection LIMIT-aware; pass the effective limit the
-        execution will run under so candidates are costed for the rows
-        actually produced.
+        ``limit``/``projection`` are the effective execution values; pass
+        them so the tree's Limit/Project nodes and the LIMIT-aware costing
+        match what the execution will run.
         """
-        plans = self.candidate_plans(table, query, limit=limit)
+        if force is not None and force not in FORCE_METHODS:
+            raise ValueError(f"unknown access method {force!r}")
+        if projection is None:
+            projection = query.projection
+        if force == "pipelined_index_scan":
+            node = self._pipelined_plan(table, query.predicates)
+            if node is None:
+                raise ValueError("no secondary index available for a pipelined scan")
+            return self._decorate(
+                node,
+                query,
+                limit=limit,
+                projection=projection,
+                input_rows=node.est_rows or 0.0,
+                input_ordering=node.path.output_ordering(),
+                tables=[table],
+                disk=table.buffer_pool.disk,
+            )
+        plans = self.candidate_plans(table, query, limit=limit, projection=projection)
         if force is not None:
-            if force not in FORCE_METHODS:
-                raise ValueError(f"unknown access method {force!r}")
-            if force == "pipelined_index_scan":
-                plan = self._pipelined_plan(table, query.predicates)
-                if plan is None:
-                    raise ValueError("no secondary index available for a pipelined scan")
-                return plan
             matching = [plan for plan in plans if plan.method == force]
             if not matching:
                 raise ValueError(f"no applicable plan for forced method {force!r}")
             return min(matching, key=lambda plan: plan.estimated_cost_ms)
         return min(plans, key=self.plan_rank)
 
-    def _pipelined_plan(self, table: Table, predicates: PredicateSet) -> PlannedAccess | None:
+    def _pipelined_plan(self, table: Table, predicates: PredicateSet) -> ScanNode | None:
         """The pipelined variant of the cheapest applicable sorted-index plan.
 
         Pipelined scans are never chosen by cost (the paper's point is how
@@ -338,18 +552,20 @@ class Planner:
         callers -- including as a join's driving path.  Costed per Section
         3.1; fully streaming, so the split has no upfront part.
         """
-        for plan in self._candidate_scan_plans(table, predicates):
-            if isinstance(plan.path, SortedIndexScan):
+        for raw in self._raw_scan_candidates(table, predicates):
+            if isinstance(raw.path, SortedIndexScan):
                 profile = table.table_profile()
-                corr = table.correlation_profile(list(plan.path.index.attributes))
-                n = self._estimate_n_lookups(table, predicates, plan.path.index.attributes)
+                corr = table.correlation_profile(list(raw.path.index.attributes))
+                n = self._estimate_n_lookups(table, predicates, raw.path.index.attributes)
                 cost = pipelined_lookup_cost(n, corr, profile, self.hardware)
-                return PlannedAccess(
-                    path=PipelinedIndexScan(table, plan.path.index, predicates),
-                    estimated_cost_ms=cost,
-                    structure=plan.structure,
-                    cost_split=CostSplit(0.0, cost),
+                node = ScanNode(
+                    PipelinedIndexScan(table, raw.path.index, predicates)
                 )
+                node.structure = raw.structure
+                node.cost_split = CostSplit(0.0, cost)
+                node.est_cost_ms = cost
+                node.est_rows = table.estimate_matching_rows(predicates)
+                return node
         return None
 
     #: Tie-break order when estimated costs are equal (which happens when all
@@ -362,12 +578,13 @@ class Planner:
         "seq_scan": 3,
     }
 
-    def plan_rank(self, plan: PlannedAccess) -> tuple[float, int]:
+    def plan_rank(self, plan: PlanNode) -> tuple[float, int]:
         """The selection sort key: cost first, structure preference on ties.
 
         Public because ``Database.explain`` sorts its candidate listing with
         the same key, guaranteeing its first entry is the plan selection
-        picks.
+        picks.  ``method`` looks through decorator nodes, so a decorated
+        tree ranks by its underlying access structure.
         """
         return (plan.estimated_cost_ms, self._METHOD_PREFERENCE.get(plan.method, 9))
 
@@ -380,8 +597,9 @@ class Planner:
         *,
         force: str | None = None,
         limit: int | None = None,
-    ) -> list[PlannedAccess]:
-        """Left-deep join plans for ``query``, one per (order, strategy) shape.
+        projection: Sequence[str] | None = None,
+    ) -> list[PlanNode]:
+        """Left-deep join plan trees, one per (order, strategy) shape.
 
         For every connected left-deep order of the join graph, up to five
         candidate shapes are produced: the cheapest strategy per step (which
@@ -391,9 +609,12 @@ class Planner:
         all-index-nested-loop (when every inner table offers a probe
         structure), all-hash and all-sort-merge (always applicable: the
         unindexed fallbacks).  ``force`` pins the driving table's access
-        method.  All cardinalities come from reservoir samples; enumeration
-        never reads a heap page.
+        method.  Decorator nodes (GroupBy/Sort/TopK/Limit/Project) wrap
+        every shape per the query.  All cardinalities come from reservoir
+        samples; enumeration never reads a heap page.
         """
+        if projection is None:
+            projection = query.projection
         edges = self._join_edges(tables, query)
         orders = self._left_deep_orders(query.tables, edges)
         if not orders:
@@ -401,7 +622,7 @@ class Planner:
                 f"join graph of {query.describe()!r} is not connected: every "
                 "joined table needs an equality linking it to the chain"
             )
-        plans: list[PlannedAccess] = []
+        plans: list[PlanNode] = []
         seen: set[str] = set()
         selectors = ("best", *FORCE_JOIN_METHODS)
         for order in orders:
@@ -411,7 +632,9 @@ class Planner:
             if analysis is None:
                 continue
             for selector in selectors:
-                plan = self._build_order_plan(analysis, selector, limit)
+                plan = self._build_order_plan(
+                    analysis, selector, limit, query, projection
+                )
                 if plan is not None and plan.structure not in seen:
                     seen.add(plan.structure)
                     plans.append(plan)
@@ -427,7 +650,8 @@ class Planner:
         force: str | None = None,
         force_join: str | None = None,
         limit: int | None = None,
-    ) -> PlannedAccess:
+        projection: Sequence[str] | None = None,
+    ) -> PlanNode:
         """Pick the cheapest join plan (or the cheapest with a forced strategy).
 
         ``force_join`` restricts plans by their *step composition*, not just
@@ -440,7 +664,9 @@ class Planner:
         """
         if force_join is not None and force_join not in FORCE_JOIN_METHODS:
             raise ValueError(f"unknown join method {force_join!r}")
-        plans = self.candidate_join_plans(tables, query, force=force, limit=limit)
+        plans = self.candidate_join_plans(
+            tables, query, force=force, limit=limit, projection=projection
+        )
         if force_join is not None:
             wanted = _FORCE_JOIN_OPERATORS[force_join]
             plans = [
@@ -673,7 +899,7 @@ class Planner:
             driving_unlimited = driving_plan
         else:
 
-            def cheapest(effective_limit: int | None) -> PlannedAccess | None:
+            def cheapest(effective_limit: int | None) -> ScanNode | None:
                 return min(
                     (
                         plan
@@ -688,8 +914,9 @@ class Planner:
 
             driving_plan = cheapest(driver_limit)
             # A shape whose blocking step (hash build of the outer, explicit
-            # merge sort) drains the whole outer cannot lean on the
-            # LIMIT-scaled driver: it gets the honest full-drain plan.
+            # merge sort, a Sort/TopK/Aggregate above the chain) drains the
+            # whole outer cannot lean on the LIMIT-scaled driver: it gets
+            # the honest full-drain plan.
             driving_unlimited = (
                 driving_plan if driver_limit is None else cheapest(None)
             )
@@ -701,10 +928,8 @@ class Planner:
         outer_sorted = False
         if steps and len(steps[0].join_on) == 1:
             outer_column = steps[0].join_on[0][0]
-            outer_sorted = (
-                driving.clustered_attribute == outer_column
-                and not driving.tail_pages()
-                and not isinstance(driving_plan.path, PipelinedIndexScan)
+            outer_sorted = self._ordering_satisfied(
+                driving_plan.path.output_ordering(), ((outer_column, True),)
             )
         return _OrderAnalysis(
             driving_name=order[0],
@@ -782,10 +1007,17 @@ class Planner:
         return candidates
 
     def _build_order_plan(
-        self, analysis: "_OrderAnalysis", selector: str, limit: int | None
-    ) -> PlannedAccess | None:
+        self,
+        analysis: "_OrderAnalysis",
+        selector: str,
+        limit: int | None,
+        query: Query,
+        projection: Sequence[str] | None,
+    ) -> PlanNode | None:
         """One strategy shape over a pre-analyzed order (``selector`` picks)."""
         chosen_steps: list[_StepCandidate] = []
+        #: Estimated rows flowing out of each step (last entry: chain result).
+        step_rows: list[float] = []
         est_rows = analysis.driving_rows
         for position, step in enumerate(analysis.steps):
             outer_sorted = position == 0 and analysis.first_step_outer_sorted
@@ -804,28 +1036,62 @@ class Planner:
                 candidates = [c for c in candidates if c.kind == "merge"]
             chosen_steps.append(min(candidates, key=lambda c: c.split.total_ms))
             est_rows = est_rows * step.fanout * step.selectivity
+            step_rows.append(est_rows)
+
+        # The chain's output ordering follows from the chosen step kinds
+        # alone: probe-family steps and an inner-built hash preserve the
+        # outer order, an outer-built hash streams the inner's order, and a
+        # merge join emits in join-key order under either key name.  (Every
+        # driving candidate is a sweep path over the same table, so the
+        # driver's ordering does not depend on which driving node is picked.)
+        chain_ordering = analysis.driving_plan.path.output_ordering()
+        for step, chosen in zip(analysis.steps, chosen_steps):
+            if chosen.kind == "merge":
+                chain_ordering = tuple(
+                    (frozenset({outer, inner}), True)
+                    for outer, inner in step.join_on
+                )
+            elif chosen.kind == "hash" and chosen.build_side == "outer":
+                chain_ordering = step.table.stream_ordering()
+        sort_needed = bool(query.ordering) and not self._ordering_satisfied(
+            chain_ordering, query.ordering
+        )
 
         # A blocking step (hash build of the outer, explicit merge sort)
         # drains everything upstream before the first merged row, so the
         # LIMIT-scaled driver only applies to fully streaming shapes, and
-        # streaming work upstream of the last block is charged in full.
+        # streaming work upstream of the last block is charged in full.  An
+        # Aggregate or a needed Sort/TopK above the chain blocks the whole
+        # pipeline the same way.
         last_block = max(
             (i for i, c in enumerate(chosen_steps) if c.blocks_outer), default=-1
         )
-        driving = analysis.driving_plan if last_block < 0 else analysis.driving_unlimited
-        upfront_ms = sum(c.split.upfront_ms for c in chosen_steps)
-        drained_ms = sum(
-            c.split.streaming_ms for c in chosen_steps[: max(0, last_block)]
-        )
-        streaming_ms = sum(
-            c.split.streaming_ms for c in chosen_steps[max(0, last_block):]
+        blocked_above = query.aggregate is not None or sort_needed
+        driving = (
+            analysis.driving_plan
+            if last_block < 0 and not blocked_above
+            else analysis.driving_unlimited
         )
 
         parts = [f"{analysis.driving_name}[{driving.method}:{driving.structure}]"]
-        source: AccessPath | JoinOperator = driving.path
-        for step, chosen in zip(analysis.steps, chosen_steps):
-            source = self._build_step_operator(source, step, chosen)
+        source: PlanNode = driving
+        for step, chosen, rows_after in zip(analysis.steps, chosen_steps, step_rows):
+            source = self._build_step_operator(source, step, chosen, rows_after)
+            source.est_rows = rows_after
+            source.cost_split = chosen.split
             parts.append(f"{source.name}[{source.describe_detail()}]")
+
+        upfront_ms = sum(c.split.upfront_ms for c in chosen_steps)
+        if blocked_above:
+            drained_ms = sum(c.split.streaming_ms for c in chosen_steps)
+            streaming_ms = 0.0
+        else:
+            drained_ms = sum(
+                c.split.streaming_ms for c in chosen_steps[: max(0, last_block)]
+            )
+            streaming_ms = sum(
+                c.split.streaming_ms for c in chosen_steps[max(0, last_block):]
+            )
 
         # Per-row streaming work downstream of the last block scales with
         # the emitted fraction under a LIMIT; upfront work (hash builds,
@@ -840,31 +1106,48 @@ class Planner:
             + streaming_ms * fraction
         )
         assert isinstance(source, JoinOperator)
-        return PlannedAccess(
-            path=source,
-            estimated_cost_ms=cost,
-            structure=" -> ".join(parts),
+        source.est_cost_ms = cost
+        source.structure = " -> ".join(parts)
+        return self._decorate(
+            source,
+            query,
+            limit=limit,
+            projection=projection,
+            input_rows=est_rows,
+            input_ordering=chain_ordering,
+            tables=[analysis.driving_plan.table, *(s.table for s in analysis.steps)],
+            disk=analysis.driving_plan.table.buffer_pool.disk,
         )
 
     def _build_step_operator(
         self,
-        source: "AccessPath | JoinOperator",
+        source: PlanNode,
         step: "_JoinStep",
         chosen: "_StepCandidate",
+        rows_after: float,
     ) -> JoinOperator:
-        """Instantiate the executable operator for one chosen step candidate."""
-        if chosen.kind == "hash":
-            return HashJoin(
-                source,
-                SeqScan(step.table, step.local),
-                step.join_on,
-                build_side=chosen.build_side,
-                inner_label=step.table.name,
-            )
-        if chosen.kind == "merge":
+        """Instantiate the executable operator for one chosen step candidate.
+
+        ``rows_after`` is the estimated rows flowing out of this step; the
+        probe leaf of a tuple-at-a-time join emits exactly the step's output
+        rows (one merged row per probe match), so it carries that estimate.
+        """
+        if chosen.kind in ("hash", "merge"):
+            inner = ScanNode(SeqScan(step.table, step.local))
+            inner.structure = "heap"
+            inner.est_rows = step.est_inner_rows
+            inner.est_pages = float(step.table.num_pages)
+            if chosen.kind == "hash":
+                return HashJoin(
+                    source,
+                    inner,
+                    step.join_on,
+                    build_side=chosen.build_side,
+                    inner_label=step.table.name,
+                )
             return SortMergeJoin(
                 source,
-                SeqScan(step.table, step.local),
+                inner,
                 step.join_on,
                 inner_sorted=step.inner_sorted,
                 outer_sorted=chosen.outer_sorted,
@@ -879,8 +1162,11 @@ class Planner:
             cm=chosen.cm,
         )
         if chosen.strategy == "seq_scan":
-            return NestedLoopJoin(source, builder)
-        return IndexNestedLoopJoin(source, builder, chosen.strategy)
+            operator = NestedLoopJoin(source, builder)
+        else:
+            operator = IndexNestedLoopJoin(source, builder, chosen.strategy)
+        operator.inner.est_rows = rows_after
+        return operator
 
 
 @dataclass
@@ -920,9 +1206,9 @@ class _OrderAnalysis:
     """One left-deep order, analyzed once and shared by its strategy shapes."""
 
     driving_name: str
-    driving_plan: PlannedAccess
+    driving_plan: ScanNode
     #: The driver costed without the LIMIT, for shapes with a blocking step.
-    driving_unlimited: PlannedAccess
+    driving_unlimited: ScanNode
     driving_rows: float
     steps: list[_JoinStep]
     #: Whether the driving path streams in the first step's join-key order.

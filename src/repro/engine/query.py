@@ -31,6 +31,48 @@ from repro.engine.predicates import Predicate, PredicateSet
 from repro.storage.disk import IOBreakdown
 
 
+class AggregateAccumulator:
+    """Running state of one streaming aggregate computation.
+
+    The executor's aggregation nodes feed rows in one at a time and read the
+    result once the input is exhausted -- nothing but the accumulator state
+    (a counter, a running sum, or the distinct-value set for
+    ``count_distinct``) is ever buffered.
+    """
+
+    def __init__(self, aggregate: "Aggregate") -> None:
+        self._aggregate = aggregate
+        self._count = 0
+        self._sum: Any = 0
+        self._distinct: set[Any] | None = (
+            set() if aggregate.kind == "count_distinct" else None
+        )
+
+    def add(self, row: Mapping[str, Any]) -> None:
+        kind = self._aggregate.kind
+        self._count += 1
+        if kind == "count":
+            return
+        value = self._aggregate._value(row)
+        if self._distinct is not None:
+            self._distinct.add(value)
+        else:
+            self._sum = self._sum + value
+
+    def result(self) -> Any:
+        kind = self._aggregate.kind
+        if kind == "count":
+            return self._count
+        if kind == "count_distinct":
+            assert self._distinct is not None
+            return len(self._distinct)
+        if kind == "sum":
+            return self._sum
+        if kind == "avg":
+            return self._sum / self._count if self._count else None
+        raise AssertionError("unreachable")
+
+
 @dataclass(frozen=True)
 class Aggregate:
     """An aggregate over the selected rows.
@@ -38,10 +80,14 @@ class Aggregate:
     ``kind`` is one of ``count``, ``count_distinct``, ``sum``, ``avg``.
     ``expression`` is a column name or a callable computing a value per row
     (e.g. ``extendedprice * discount`` from the paper's Figure 3 query).
+    ``alias`` names the output column of grouped queries (and of the
+    aggregation node in EXPLAIN); it defaults to ``kind`` or
+    ``kind_expression`` for string expressions.
     """
 
     kind: str
     expression: str | Callable[[Mapping[str, Any]], Any] | None = None
+    alias: str | None = None
 
     _KINDS = ("count", "count_distinct", "sum", "avg")
 
@@ -51,39 +97,51 @@ class Aggregate:
         if self.kind != "count" and self.expression is None:
             raise ValueError(f"aggregate {self.kind!r} needs an expression")
 
+    @property
+    def output_name(self) -> str:
+        """The column name the aggregate value appears under in grouped rows."""
+        if self.alias:
+            return self.alias
+        if isinstance(self.expression, str):
+            return f"{self.kind}_{self.expression}"
+        return self.kind
+
     def _value(self, row: Mapping[str, Any]) -> Any:
         if callable(self.expression):
             return self.expression(row)
         return row[self.expression]
 
+    def make_accumulator(self) -> AggregateAccumulator:
+        """Fresh running state for one streaming computation of this aggregate."""
+        return AggregateAccumulator(self)
+
     def compute(self, rows: Sequence[Mapping[str, Any]]) -> Any:
-        """Evaluate the aggregate over the matching rows."""
-        if self.kind == "count":
-            return len(rows)
-        values = [self._value(row) for row in rows]
-        if self.kind == "count_distinct":
-            return len(set(values))
-        if self.kind == "sum":
-            return sum(values)
-        if self.kind == "avg":
-            return sum(values) / len(values) if values else None
-        raise AssertionError("unreachable")
+        """Evaluate the aggregate over already-materialised rows.
+
+        Kept as the reference implementation (and for callers holding a row
+        list); query execution streams through :meth:`make_accumulator`
+        instead of materialising the input.
+        """
+        accumulator = self.make_accumulator()
+        for row in rows:
+            accumulator.add(row)
+        return accumulator.result()
 
     @classmethod
-    def count(cls) -> "Aggregate":
-        return cls("count")
+    def count(cls, *, alias: str | None = None) -> "Aggregate":
+        return cls("count", alias=alias)
 
     @classmethod
-    def count_distinct(cls, expression) -> "Aggregate":
-        return cls("count_distinct", expression)
+    def count_distinct(cls, expression, *, alias: str | None = None) -> "Aggregate":
+        return cls("count_distinct", expression, alias=alias)
 
     @classmethod
-    def avg(cls, expression) -> "Aggregate":
-        return cls("avg", expression)
+    def avg(cls, expression, *, alias: str | None = None) -> "Aggregate":
+        return cls("avg", expression, alias=alias)
 
     @classmethod
-    def sum(cls, expression) -> "Aggregate":
-        return cls("sum", expression)
+    def sum(cls, expression, *, alias: str | None = None) -> "Aggregate":
+        return cls("sum", expression, alias=alias)
 
 
 def _normalize_on(
@@ -133,6 +191,35 @@ def _normalize_on(
     return pairs
 
 
+def _normalize_ordering(
+    columns: Sequence[Any],
+) -> tuple[tuple[str, bool], ...]:
+    """Normalise ORDER BY columns into ``((column, ascending), ...)``.
+
+    Accepted forms per entry: a plain column name (ascending), a name
+    prefixed with ``-`` (descending, SQL's ``DESC``), or an explicit
+    ``(column, ascending)`` pair.
+    """
+    normalized: list[tuple[str, bool]] = []
+    for item in columns:
+        if isinstance(item, str):
+            if item.startswith("-"):
+                normalized.append((item[1:], False))
+            else:
+                normalized.append((item, True))
+            continue
+        pair = tuple(item)
+        if len(pair) != 2 or not isinstance(pair[0], str):
+            raise ValueError(
+                f"an ORDER BY entry is a column name or (column, ascending), got {item!r}"
+            )
+        normalized.append((pair[0], bool(pair[1])))
+    for column, _ascending in normalized:
+        if not column:
+            raise ValueError("ORDER BY column names must be non-empty")
+    return tuple(normalized)
+
+
 @dataclass(frozen=True)
 class JoinSpec:
     """One step of a left-deep equi-join chain.
@@ -179,8 +266,14 @@ class Query:
     sweeping heap pages (and, under a join, stops pulling outer rows) as soon
     as the cap is met.  ``projection`` names the columns kept in the output
     rows -- under a join they may come from any table in the chain (residual
-    predicates still see every column).  Neither combines with an aggregate:
-    aggregates consume the full matching row stream.
+    predicates still see every column).  ``ordering`` (built with
+    :meth:`order_by`) sorts the output; combined with ``limit`` it executes
+    as a bounded k-heap top-k instead of a full sort.  ``grouping`` (built
+    with :meth:`group_by`) turns the aggregate into a hash aggregation with
+    one output row per group; grouped queries may carry a LIMIT (it caps the
+    number of groups) and a projection over the group columns and the
+    aggregate's output column.  A *scalar* aggregate still combines with
+    neither: it reduces the full matching stream to a single value.
 
     A worked two-table example, end to end::
 
@@ -219,19 +312,48 @@ class Query:
     limit: int | None = None
     projection: tuple[str, ...] | None = None
     joins: tuple[JoinSpec, ...] = ()
+    #: ORDER BY as ``((column, ascending), ...)`` -- see :meth:`order_by`.
+    ordering: tuple[tuple[str, bool], ...] = ()
+    #: GROUP BY columns -- see :meth:`group_by`.
+    grouping: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if isinstance(self.predicates, (list, tuple)):
             self.predicates = PredicateSet(self.predicates)
+        self.ordering = _normalize_ordering(self.ordering)
+        self.grouping = tuple(self.grouping)
+        if self.grouping and self.aggregate is None:
+            raise ValueError("GROUP BY needs an aggregate to compute per group")
+        scalar_aggregate = self.aggregate is not None and not self.grouping
         if self.limit is not None:
             if self.limit < 0:
                 raise ValueError("limit must be non-negative")
-            if self.aggregate is not None:
-                raise ValueError("LIMIT cannot be combined with an aggregate")
+            if scalar_aggregate:
+                raise ValueError(
+                    "LIMIT cannot be combined with a scalar aggregate "
+                    "(group the query to cap the number of groups)"
+                )
         if self.projection is not None:
-            if self.aggregate is not None:
-                raise ValueError("a projection cannot be combined with an aggregate")
+            if scalar_aggregate:
+                raise ValueError(
+                    "a projection cannot be combined with a scalar aggregate"
+                )
             self.projection = tuple(self.projection)
+        if self.grouping and self.aggregate.output_name in self.grouping:
+            raise ValueError(
+                f"aggregate output column {self.aggregate.output_name!r} "
+                "collides with a GROUP BY column; set a different alias"
+            )
+        if self.grouping and self.projection is not None:
+            allowed = set(self.grouping) | {self.aggregate.output_name}
+            unknown = [c for c in self.projection if c not in allowed]
+            if unknown:
+                raise ValueError(
+                    f"projection columns {unknown} are not in the GROUP BY "
+                    f"output (group columns plus {self.aggregate.output_name!r})"
+                )
+        if self.ordering and self.aggregate is not None and not self.grouping:
+            raise ValueError("ORDER BY is meaningless for a scalar aggregate")
         self.joins = tuple(self.joins)
 
     @classmethod
@@ -243,6 +365,8 @@ class Query:
         name: str = "",
         limit: int | None = None,
         projection: Sequence[str] | None = None,
+        order_by: Sequence[Any] | None = None,
+        group_by: Sequence[str] | None = None,
     ) -> "Query":
         """Build a query over ``table`` with ``predicates`` ANDed together."""
         return cls(
@@ -252,7 +376,47 @@ class Query:
             name=name,
             limit=limit,
             projection=tuple(projection) if projection is not None else None,
+            ordering=_normalize_ordering(order_by) if order_by is not None else (),
+            grouping=tuple(group_by) if group_by is not None else (),
         )
+
+    def order_by(self, *columns: Any) -> "Query":
+        """A new query sorting the output by ``columns``.
+
+        Each entry is a column name (ascending), a ``-``-prefixed name
+        (descending), or an explicit ``(column, ascending)`` pair.  NULLs
+        sort last ascending and first descending, as in PostgreSQL.
+        Combined with a LIMIT (see :meth:`with_limit`) the plan uses a
+        bounded k-heap top-k instead of a full sort; when the chosen stream
+        already flows in the requested order (a scan of a table clustered on
+        the sort column, a merge join on it) the sort is planned away
+        entirely.
+
+            >>> Query.select("items").order_by("price", "-catid").describe()
+            'SELECT * FROM items WHERE TRUE ORDER BY price, catid DESC'
+        """
+        return replace(self, ordering=_normalize_ordering(columns))
+
+    def group_by(self, *columns: str) -> "Query":
+        """A new query hash-aggregating per distinct ``columns`` combination.
+
+        The query must carry an aggregate; each output row holds the group
+        columns plus the aggregate value under
+        :attr:`Aggregate.output_name`.
+
+            >>> Query.select("items", aggregate=Aggregate.count()).group_by(
+            ...     "catid").describe()
+            'SELECT catid, COUNT(*) FROM items WHERE TRUE GROUP BY catid'
+        """
+        return replace(self, grouping=tuple(columns))
+
+    def with_limit(self, limit: int | None) -> "Query":
+        """A new query capped at ``limit`` rows (``None`` removes the cap).
+
+        (A ``limit()`` builder method would collide with the ``limit``
+        field, which the rest of the engine reads directly.)
+        """
+        return replace(self, limit=limit)
 
     def join(
         self,
@@ -286,7 +450,7 @@ class Query:
         return (self.table, *(spec.table for spec in self.joins))
 
     def describe(self) -> str:
-        """An SQL rendering of the query (joins, WHERE conjunction, LIMIT)."""
+        """An SQL rendering (joins, WHERE, GROUP BY, ORDER BY, LIMIT)."""
         select_list = "*"
         if self.aggregate is not None:
             expression = self.aggregate.expression
@@ -297,6 +461,8 @@ class Query:
             else:
                 expr = "expr"
             select_list = f"{self.aggregate.kind.upper()}({expr})"
+            if self.grouping:
+                select_list = f"{', '.join(self.grouping)}, {select_list}"
         elif self.projection is not None:
             select_list = ", ".join(self.projection)
         from_clause = " ".join(
@@ -309,6 +475,14 @@ class Query:
         ]
         where = " AND ".join(conditions) if conditions else "TRUE"
         sql = f"SELECT {select_list} FROM {from_clause} WHERE {where}"
+        if self.grouping:
+            sql += f" GROUP BY {', '.join(self.grouping)}"
+        if self.ordering:
+            rendered = ", ".join(
+                column if ascending else f"{column} DESC"
+                for column, ascending in self.ordering
+            )
+            sql += f" ORDER BY {rendered}"
         if self.limit is not None:
             sql += f" LIMIT {self.limit}"
         return sql
@@ -336,13 +510,20 @@ class QueryResult:
     #: Inner-input probes performed by join operators (0 for scans): one per
     #: probe-side row per join step, whichever operator family ran.
     join_probes: int = 0
-    #: Rows the root context emitted -- equals ``rows_matched`` for a drained
+    #: Rows the plan root emitted -- equals ``rows_matched`` for a drained
     #: result, but is the honest count when a LIMIT stopped the pipeline.
     rows_emitted: int = 0
     io: IOBreakdown = field(default_factory=IOBreakdown)
     elapsed_ms: float = 0.0
     estimated_cost_ms: float | None = None
     rewritten_sql: str | None = None
+    #: One-line description of the Sort/TopK work the plan performed, e.g.
+    #: ``"top-5 heap over 1203 rows"`` or ``"sort buffered 1203 rows"``
+    #: (``None`` when the plan sorted nothing).
+    sort_stats: str | None = None
+    #: The executed physical plan tree (a PlanNode), for EXPLAIN
+    #: ANALYZE-style inspection of per-node counters.
+    plan: Any = field(default=None, repr=False)
 
     @property
     def elapsed_seconds(self) -> float:
@@ -355,8 +536,12 @@ class QueryResult:
 
     def summary(self) -> str:
         probes = f", {self.join_probes} probes" if self.join_probes else ""
+        value = ""
+        if self.query.aggregate is not None and not self.query.grouping:
+            value = f", value={self.value}"
+        sort = f", {self.sort_stats}" if self.sort_stats else ""
         return (
             f"[{self.access_method}] {self.query.describe()} -> "
-            f"{self.rows_matched} rows, {self.pages_visited} pages{probes}, "
-            f"{self.elapsed_ms:.1f} ms simulated"
+            f"{self.rows_matched} rows, {self.pages_visited} pages"
+            f"{probes}{value}{sort}, {self.elapsed_ms:.1f} ms simulated"
         )

@@ -45,6 +45,7 @@ class Table:
         *,
         tups_per_page: int | None = None,
         stats_sample_size: int = DEFAULT_STATS_SAMPLE_SIZE,
+        stats_refresh_ops: int | None = None,
     ) -> None:
         self.schema = schema
         self.buffer_pool = buffer_pool
@@ -64,8 +65,12 @@ class Table:
         self._cm_uses_buckets: dict[str, bool] = {}
 
         #: Planner statistics maintained incrementally under inserts/deletes;
-        #: planning never scans the heap (see ARCHITECTURE.md).
-        self.statistics = IncrementalTableStatistics(sample_capacity=stats_sample_size)
+        #: planning never scans the heap (see ARCHITECTURE.md).  The optional
+        #: periodic re-seed (``stats_refresh_ops``) is the one maintenance
+        #: path that scans it, amortised over that many DML operations.
+        self.statistics = IncrementalTableStatistics(
+            sample_capacity=stats_sample_size, refresh_ops=stats_refresh_ops
+        )
 
     # -- basic properties --------------------------------------------------------
 
@@ -96,6 +101,19 @@ class Table:
     def tail_pages(self) -> list[int]:
         """Heap pages appended after the last clustering (unsorted region)."""
         return list(range(self._clustered_until_page, self.heap.num_pages))
+
+    def stream_ordering(self) -> tuple[tuple[str, bool], ...]:
+        """Columns an ascending page sweep of this heap is sorted by.
+
+        A freshly clustered heap *is* sorted by the clustered attribute, so
+        until an unsorted tail grows, any sweep that visits pages in
+        ascending page order emits rows in clustered-attribute order.  The
+        single source of that rule: access paths and the planner's
+        free-ORDER-BY analysis both consult it.
+        """
+        if self.clustered_attribute is not None and not self.tail_pages():
+            return ((self.clustered_attribute, True),)
+        return ()
 
     # -- loading and clustering -----------------------------------------------------
 
@@ -311,6 +329,7 @@ class Table:
         for cm in self.correlation_maps.values():
             cm.insert(row)
         self.statistics.observe_insert(row)
+        self._maybe_refresh_statistics()
         return rid
 
     def delete_row(self, rid: RID, *, charge_io: bool = True) -> dict[str, Any] | None:
@@ -324,7 +343,20 @@ class Table:
         for cm in self.correlation_maps.values():
             cm.delete(row)
         self.statistics.observe_delete(row)
+        self._maybe_refresh_statistics()
         return row
+
+    def _maybe_refresh_statistics(self) -> None:
+        """The periodic re-seeding policy (``stats_refresh_ops``).
+
+        Once enough DML has accumulated, the statistics are rebuilt from one
+        accounting-free heap scan: the reservoir is re-seeded (restoring a
+        uniform -- or complete -- sample after delete erosion), the min/max
+        bounds snap back to the live domain, and the derived-statistics
+        caches start fresh.  Disabled (``None``) by default.
+        """
+        if self.statistics.refresh_due:
+            self.statistics.rebuild(self.heap.all_rows())
 
     # -- statistics --------------------------------------------------------------------------------
 

@@ -157,15 +157,6 @@ class TestContext:
         with pytest.raises(ValueError):
             ExecutionContext(limit=-1)
 
-    def test_for_query_prefers_overrides(self):
-        query = Query.select("items", Equals("catid", 1), limit=7, projection=("catid",))
-        context = ExecutionContext.for_query(query)
-        assert context.limit == 7
-        assert context.projection == ("catid",)
-        overridden = ExecutionContext.for_query(query, limit=2, projection=("itemid",))
-        assert overridden.limit == 2
-        assert overridden.projection == ("itemid",)
-
     def test_emit_counts_and_projects(self):
         context = ExecutionContext(projection=("a",))
         row = context.emit({"a": 1, "b": 2})

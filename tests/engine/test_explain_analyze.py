@@ -1,0 +1,112 @@
+"""EXPLAIN ANALYZE: per-node estimated vs actual counters over the plan tree.
+
+The satellite's acceptance check lives here: each node's ``actual`` counters
+cover only that node's own work, so summing them over the tree reproduces
+both the ``QueryResult`` totals and the heaps' independent
+``logical_page_reads`` deltas.
+"""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.executor import PlanNode
+from repro.engine.predicates import Between
+from repro.engine.query import Aggregate, Query
+
+
+@pytest.fixture
+def join_db():
+    db = Database(buffer_pool_pages=300)
+    db.create_table("orders", columns=["orderid", "custid", "amount"], tups_per_page=10)
+    db.create_table("customers", columns=["custid", "name"], tups_per_page=10)
+    db.load(
+        "orders",
+        [{"orderid": i, "custid": i % 20, "amount": float(i)} for i in range(300)],
+    )
+    db.load("customers", [{"custid": c, "name": f"c{c}"} for c in range(20)])
+    return db
+
+
+class TestNodeCounters:
+    def test_node_counters_sum_to_result_totals(self, indexed_database):
+        query = Query.select("items", Between("price", 1000, 2000)).order_by("price")
+        result = indexed_database.run_query(query, limit=5)
+        assert isinstance(result.plan, PlanNode)
+        nodes = list(result.plan.walk())
+        assert sum(n.actual.pages_visited for n in nodes) == result.pages_visited
+        assert sum(n.actual.rows_examined for n in nodes) == result.rows_examined
+        assert result.rows_emitted == result.plan.actual.rows_out == 5
+
+    def test_node_pages_match_the_heaps_logical_reads(self, join_db):
+        orders_heap = join_db.table("orders").heap
+        customers_heap = join_db.table("customers").heap
+        before = orders_heap.logical_page_reads + customers_heap.logical_page_reads
+        query = Query.select("orders").join("customers", on="custid")
+        result = join_db.run_query(query, force_join="hash_join")
+        delta = (
+            orders_heap.logical_page_reads
+            + customers_heap.logical_page_reads
+            - before
+        )
+        nodes = list(result.plan.walk())
+        assert sum(n.actual.pages_visited for n in nodes) == delta == result.pages_visited
+
+    def test_probe_join_work_lands_on_the_probe_leaf(self, join_db):
+        join_db.cluster("customers", "custid")
+        customers_heap = join_db.table("customers").heap
+        before = customers_heap.logical_page_reads
+        query = Query.select("orders").join("customers", on="custid")
+        result = join_db.run_query(query, force_join="index_nested_loop_join")
+        probe_pages = customers_heap.logical_page_reads - before
+        from repro.engine.executor import ProbeNode
+        from repro.engine.plan import find_node
+
+        probe = find_node(result.plan, ProbeNode)
+        assert probe is not None
+        assert probe.actual.pages_visited == probe_pages
+        assert probe.actual.rows_out == result.rows_matched
+
+    def test_estimates_are_stamped_on_every_planned_node(self, indexed_database):
+        query = Query.select("items", Between("price", 1000, 2000)).order_by("price")
+        result = indexed_database.run_query(query, limit=5)
+        for node in result.plan.walk():
+            assert node.est_rows is not None
+        assert result.plan.estimated_cost_ms == result.estimated_cost_ms
+
+
+class TestExplainAnalyzeRendering:
+    def test_one_line_per_node_with_est_and_act(self, indexed_database):
+        query = Query.select("items", Between("price", 1000, 2000)).order_by(
+            "price"
+        ).with_limit(5)
+        report = indexed_database.explain_analyze(query, force="cm_scan")
+        lines = report.splitlines()
+        # topk -> cm_scan + totals footer.
+        assert len(lines) == 3
+        assert lines[0].startswith("topk[price, k=5]")
+        assert "cm_scan(items: cm_price)" in lines[1]
+        assert all("rows est=" in line and "act=" in line for line in lines[:2])
+        assert lines[-1].startswith("totals:")
+
+    def test_join_tree_renders_all_inputs(self, join_db):
+        query = Query.select("orders").join("customers", on="custid")
+        report = join_db.explain_analyze(query, force_join="hash_join")
+        assert "hash_join" in report
+        assert "seq_scan(orders: heap)" in report
+        assert "seq_scan(customers: heap)" in report
+        # Tree guides mark the two children of the join.
+        assert "├─" in report and "└─" in report
+
+    def test_act_rows_match_an_independent_run(self, indexed_database):
+        query = Query.select(
+            "items", Between("price", 1000, 2000), aggregate=Aggregate.count()
+        )
+        reference = indexed_database.run_query(query)
+        report = indexed_database.explain_analyze(query)
+        assert f"act={reference.rows_matched}" in report
+        assert "aggregate[count]" in report
+
+    def test_explain_analyze_validates_like_run_query(self, join_db):
+        query = Query.select("orders").join("customers", on="kundennummer")
+        with pytest.raises(ValueError):
+            join_db.explain_analyze(query)

@@ -1,0 +1,334 @@
+"""ORDER BY / top-k / GROUP BY through the streaming operator tree.
+
+Covers the ISSUE's edge-case checklist: NULL sort keys, ties under a LIMIT,
+k-heap vs full-sort equivalence, descending and mixed-direction keys, free
+ORDER BY on pre-ordered streams, and the order_by + group_by + join
+composition.
+"""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.predicates import Between, Equals
+from repro.engine.query import Aggregate, Query
+
+
+@pytest.fixture
+def nullable_db():
+    db = Database(buffer_pool_pages=100)
+    db.create_table("t", columns=["k", "v"], tups_per_page=10)
+    db.load(
+        "t",
+        [
+            {"k": 3, "v": "a"},
+            {"k": None, "v": "b"},
+            {"k": 1, "v": "c"},
+            {"k": None, "v": "d"},
+            {"k": 2, "v": "e"},
+        ],
+    )
+    return db
+
+
+class TestOrderBy:
+    def test_orders_ascending_by_default(self, indexed_database):
+        query = Query.select("items", Between("price", 1000, 1500)).order_by("price")
+        result = indexed_database.run_query(query)
+        prices = [row["price"] for row in result.rows]
+        assert prices == sorted(prices)
+        assert result.rows_matched > 0
+        assert "sort buffered" in (result.sort_stats or "")
+
+    def test_descending_with_minus_prefix(self, indexed_database):
+        query = Query.select("items", Between("price", 1000, 1500)).order_by("-price")
+        prices = [r["price"] for r in indexed_database.run_query(query).rows]
+        assert prices == sorted(prices, reverse=True)
+
+    def test_mixed_directions_multi_column(self, indexed_database):
+        query = Query.select("items", Between("price", 1000, 2000)).order_by(
+            "cat2", "-price"
+        )
+        rows = indexed_database.run_query(query).rows
+        keys = [(r["cat2"], -r["price"]) for r in rows]
+        assert keys == sorted(keys)
+
+    def test_null_keys_sort_last_ascending_first_descending(self, nullable_db):
+        ascending = nullable_db.run_query(Query.select("t").order_by("k"))
+        assert [r["k"] for r in ascending.rows] == [1, 2, 3, None, None]
+        descending = nullable_db.run_query(Query.select("t").order_by("-k"))
+        assert [r["k"] for r in descending.rows] == [None, None, 3, 2, 1]
+
+    def test_null_keys_topk_agrees_with_full_sort(self, nullable_db):
+        query = Query.select("t").order_by("-k")
+        full = nullable_db.run_query(query)
+        topk = nullable_db.run_query(query, limit=3)
+        assert topk.rows == full.rows[:3]
+
+    def test_ties_with_limit_keep_first_seen_rows(self):
+        db = Database(buffer_pool_pages=100)
+        db.create_table("t", columns=["k", "seq"], tups_per_page=10)
+        db.load("t", [{"k": i % 3, "seq": i} for i in range(60)])
+        query = Query.select("t").order_by("k")
+        full = db.run_query(query)
+        topk = db.run_query(query, limit=5)
+        # The full sort is stable and the k-heap keeps the first-seen row of
+        # a tied key, so both agree row for row.
+        assert topk.rows == full.rows[:5]
+        assert [r["seq"] for r in topk.rows] == [0, 3, 6, 9, 12]
+
+    def test_topk_equals_full_sort_prefix_for_every_method(self, indexed_database):
+        query = Query.select("items", Between("price", 1000, 2000)).order_by(
+            "-price", "itemid"
+        )
+        for method in ("seq_scan", "sorted_index_scan", "cm_scan"):
+            full = indexed_database.run_query(query, force=method)
+            topk = indexed_database.run_query(query, force=method, limit=7)
+            assert topk.rows == full.rows[:7]
+            assert topk.sort_stats.startswith("top-7 heap")
+
+    def test_free_order_on_clustered_key_plans_no_sort(self, indexed_database):
+        # items is clustered on catid with no tail: every sweep path already
+        # streams in catid order, so the Sort node is planned away.
+        query = Query.select("items", Between("price", 1000, 2000)).order_by("catid")
+        result = indexed_database.run_query(query)
+        assert result.sort_stats is None
+        values = [row["catid"] for row in result.rows]
+        assert values == sorted(values)
+
+    def test_free_order_still_terminates_limit_early(self, indexed_database):
+        table = indexed_database.table("items")
+        query = Query.select("items", Between("price", 0, 20_000)).order_by("catid")
+        result = indexed_database.run_query(query, limit=5, force="seq_scan")
+        assert result.sort_stats is None
+        assert result.rows_matched == 5
+        assert result.pages_visited < table.num_pages
+
+    def test_descending_clustered_order_is_not_free(self, indexed_database):
+        query = Query.select("items", Between("price", 1000, 2000)).order_by("-catid")
+        result = indexed_database.run_query(query)
+        assert result.sort_stats is not None
+        values = [row["catid"] for row in result.rows]
+        assert values == sorted(values, reverse=True)
+
+    def test_unsorted_tail_disables_the_free_order(self, indexed_database):
+        table = indexed_database.table("items")
+        table.insert_row(
+            {"itemid": 99_999, "catid": 0, "cat2": "group0", "price": 5.0, "noise": 1},
+            charge_io=False,
+        )
+        query = Query.select("items", Between("price", 0, 20_000)).order_by("catid")
+        result = indexed_database.run_query(query)
+        # The tail row is out of clustered order, so an explicit sort runs
+        # (and the result is still correctly ordered).
+        assert result.sort_stats is not None
+        values = [row["catid"] for row in result.rows]
+        assert values == sorted(values)
+
+    def test_order_by_survives_projection_dropping_the_sort_key(self, indexed_database):
+        query = Query.select(
+            "items", Between("price", 1000, 1500), projection=("itemid",)
+        ).order_by("price")
+        reference = indexed_database.run_query(
+            Query.select("items", Between("price", 1000, 1500)).order_by("price")
+        )
+        result = indexed_database.run_query(query)
+        assert [r["itemid"] for r in result.rows] == [
+            r["itemid"] for r in reference.rows
+        ]
+        assert all(set(row) == {"itemid"} for row in result.rows)
+
+    def test_stream_yields_in_order(self, indexed_database):
+        query = Query.select("items", Between("price", 1000, 1500)).order_by("price")
+        prices = [r["price"] for r in indexed_database.stream(query)]
+        assert prices == sorted(prices)
+
+    def test_limit_zero_with_order_by_reads_nothing(self, indexed_database):
+        query = Query.select("items", Between("price", 0, 20_000)).order_by("price")
+        result = indexed_database.run_query(query, limit=0)
+        assert result.rows == []
+        assert result.pages_visited == 0
+
+    def test_unknown_order_column_rejected(self, indexed_database):
+        query = Query.select("items").order_by("pricee")
+        with pytest.raises(ValueError, match="ORDER BY"):
+            indexed_database.run_query(query)
+
+    def test_order_by_with_scalar_aggregate_rejected(self):
+        with pytest.raises(ValueError, match="scalar aggregate"):
+            Query.select("items", aggregate=Aggregate.count()).order_by("price")
+
+    def test_describe_renders_order_and_direction(self):
+        query = Query.select("items").order_by("price", "-catid").with_limit(3)
+        assert query.describe().endswith("ORDER BY price, catid DESC LIMIT 3")
+
+
+class TestGroupBy:
+    def test_grouped_count_matches_reference(self, indexed_database, item_rows):
+        query = Query.select(
+            "items", aggregate=Aggregate.count(alias="n")
+        ).group_by("cat2")
+        result = indexed_database.run_query(query)
+        reference: dict = {}
+        for row in item_rows:
+            reference[row["cat2"]] = reference.get(row["cat2"], 0) + 1
+        assert {(r["cat2"], r["n"]) for r in result.rows} == set(reference.items())
+        assert result.rows_matched == len(reference)
+
+    def test_grouped_avg_and_predicates(self, indexed_database, item_rows):
+        query = Query.select(
+            "items", Between("price", 0, 5000), aggregate=Aggregate.avg("price")
+        ).group_by("cat2")
+        result = indexed_database.run_query(query)
+        by_group: dict = {}
+        for row in item_rows:
+            if 0 <= row["price"] <= 5000:
+                by_group.setdefault(row["cat2"], []).append(row["price"])
+        for grouped in result.rows:
+            expected = sum(by_group[grouped["cat2"]]) / len(by_group[grouped["cat2"]])
+            assert grouped["avg_price"] == pytest.approx(expected)
+
+    def test_group_by_composes_with_order_by_and_limit(self, indexed_database, item_rows):
+        query = (
+            Query.select("items", aggregate=Aggregate.count(alias="n"))
+            .group_by("cat2")
+            .order_by("-n", "cat2")
+            .with_limit(3)
+        )
+        result = indexed_database.run_query(query)
+        counts: dict = {}
+        for row in item_rows:
+            counts[row["cat2"]] = counts.get(row["cat2"], 0) + 1
+        expected = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:3]
+        assert [(r["cat2"], r["n"]) for r in result.rows] == expected
+
+    def test_group_by_over_a_join(self):
+        db = Database(buffer_pool_pages=200)
+        db.create_table("orders", columns=["orderid", "custid", "amount"], tups_per_page=10)
+        db.create_table("customers", columns=["custid", "region"], tups_per_page=10)
+        orders = [
+            {"orderid": i, "custid": i % 10, "amount": float(i)} for i in range(100)
+        ]
+        customers = [{"custid": c, "region": f"r{c % 3}"} for c in range(10)]
+        db.load("orders", orders)
+        db.load("customers", customers)
+        query = (
+            Query.select("orders", aggregate=Aggregate.sum("amount"))
+            .join("customers", on="custid")
+            .group_by("region")
+            .order_by("region")
+        )
+        result = db.run_query(query)
+        region_of = {c["custid"]: c["region"] for c in customers}
+        expected: dict = {}
+        for order in orders:
+            region = region_of[order["custid"]]
+            expected[region] = expected.get(region, 0.0) + order["amount"]
+        assert [(r["region"], r["sum_amount"]) for r in result.rows] == sorted(
+            expected.items()
+        )
+
+    def test_null_group_keys_form_their_own_group(self, nullable_db):
+        query = Query.select("t", aggregate=Aggregate.count(alias="n")).group_by("k")
+        result = nullable_db.run_query(query)
+        groups = {r["k"]: r["n"] for r in result.rows}
+        assert groups[None] == 2
+        assert groups[1] == groups[2] == groups[3] == 1
+
+    def test_count_distinct_per_group(self, indexed_database, item_rows):
+        query = Query.select(
+            "items", aggregate=Aggregate.count_distinct("catid", alias="cats")
+        ).group_by("cat2")
+        result = indexed_database.run_query(query)
+        reference: dict = {}
+        for row in item_rows:
+            reference.setdefault(row["cat2"], set()).add(row["catid"])
+        assert {(r["cat2"], r["cats"]) for r in result.rows} == {
+            (group, len(values)) for group, values in reference.items()
+        }
+
+    def test_projection_over_grouped_output(self, indexed_database):
+        query = Query.select(
+            "items", aggregate=Aggregate.count(alias="n")
+        ).group_by("cat2")
+        result = indexed_database.run_query(query, projection=["n"])
+        assert result.rows and all(set(row) == {"n"} for row in result.rows)
+
+    def test_projection_outside_grouped_output_rejected(self, indexed_database):
+        query = Query.select(
+            "items", aggregate=Aggregate.count(alias="n")
+        ).group_by("cat2")
+        with pytest.raises(ValueError, match="grouped rows"):
+            indexed_database.run_query(query, projection=["price"])
+
+    def test_order_by_outside_grouped_output_rejected(self, indexed_database):
+        query = (
+            Query.select("items", aggregate=Aggregate.count())
+            .group_by("cat2")
+            .order_by("price")
+        )
+        with pytest.raises(ValueError, match="grouped rows"):
+            indexed_database.run_query(query)
+
+    def test_alias_colliding_with_group_column_rejected(self):
+        with pytest.raises(ValueError, match="collides"):
+            Query.select(
+                "items", aggregate=Aggregate.count(alias="catid")
+            ).group_by("catid")
+
+    def test_group_by_without_aggregate_rejected(self):
+        with pytest.raises(ValueError, match="GROUP BY needs an aggregate"):
+            Query.select("items").group_by("cat2")
+
+    def test_unknown_group_column_rejected(self, indexed_database):
+        query = Query.select("items", aggregate=Aggregate.count()).group_by("nope")
+        with pytest.raises(ValueError, match="GROUP BY"):
+            indexed_database.run_query(query)
+
+    def test_empty_group_input_produces_no_rows(self, indexed_database):
+        query = Query.select(
+            "items", Equals("catid", -42), aggregate=Aggregate.count()
+        ).group_by("cat2")
+        result = indexed_database.run_query(query)
+        assert result.rows == []
+
+
+class TestStreamingScalarAggregates:
+    def test_scalar_aggregate_streams_without_buffering_rows(self, indexed_database):
+        from repro.engine.plan import AggregateNode, find_node
+
+        query = Query.select(
+            "items", Between("price", 1000, 2000), aggregate=Aggregate.sum("price")
+        )
+        result = indexed_database.run_query(query)
+        node = find_node(result.plan, AggregateNode)
+        assert node is not None
+        assert result.value == pytest.approx(
+            sum(
+                r["price"]
+                for r in indexed_database.stream(
+                    Query.select("items", Between("price", 1000, 2000))
+                )
+            )
+        )
+        assert result.rows == []  # nothing materialised for the caller
+        assert result.rows_matched == node.rows_in
+
+    def test_avg_over_empty_input_is_none(self, indexed_database):
+        query = Query.select(
+            "items", Equals("catid", -1), aggregate=Aggregate.avg("price")
+        )
+        assert indexed_database.run_query(query).value is None
+
+    def test_summary_reports_the_aggregate_value(self, indexed_database):
+        query = Query.select(
+            "items", Between("price", 1000, 1100), aggregate=Aggregate.count()
+        )
+        result = indexed_database.run_query(query)
+        assert f"value={result.value}" in result.summary()
+
+    def test_summary_reports_sort_stats(self, indexed_database):
+        query = Query.select("items", Between("price", 1000, 1500)).order_by("price")
+        result = indexed_database.run_query(query)
+        assert "sort buffered" in result.summary()
+        topk = indexed_database.run_query(query, limit=4)
+        assert "top-4 heap" in topk.summary()

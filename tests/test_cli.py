@@ -39,6 +39,16 @@ def test_demo_command_runs_all_three_access_methods(capsys):
     assert "cm_scan" in out
 
 
+def test_demo_analyze_prints_plan_trees(capsys):
+    assert main(["demo", "--analyze"]) == 0
+    out = capsys.readouterr().out
+    assert "EXPLAIN ANALYZE" in out
+    assert "topk[price DESC, k=5]" in out
+    assert "hash_group[catid: n]" in out
+    assert "rows est=" in out and "act=" in out
+    assert "totals:" in out
+
+
 def test_advise_rejects_unknown_dataset():
     with pytest.raises(SystemExit):
         main(["advise", "mystery"])
