@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Run the wall-clock executor benchmarks and write BENCH_exec.json.
+
+Times the batched executor against the row-at-a-time path on the scan /
+filter / join / top-k / group-by scenarios of
+:mod:`repro.bench.wallclock`, verifying on the way that both modes report
+bit-identical simulated statistics.  The JSON report tracks the wall-clock
+trajectory across PRs; CI runs ``--smoke`` and uploads the file as an
+artifact.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_wallclock.py [--smoke]
+        [--scale X] [--repeats N] [--batch-size N]
+        [--output BENCH_exec.json] [--scenario NAME ...]
+
+Exits non-zero if any scenario's parity check fails (wall-clock numbers are
+machine-dependent and never gate by themselves).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.bench.wallclock import (  # noqa: E402 (path bootstrap above)
+    BenchConfig,
+    format_results,
+    run_benchmarks,
+    write_report,
+)
+from repro.engine.executor import DEFAULT_BATCH_SIZE  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small scale, fewer repeats (the CI configuration)",
+    )
+    parser.add_argument("--scale", type=float, default=None, help="row-count multiplier")
+    parser.add_argument("--repeats", type=int, default=None, help="timing repeats per mode")
+    parser.add_argument(
+        "--batch-size", type=int, default=DEFAULT_BATCH_SIZE, help="rows per batch"
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_exec.json",
+        help="report path (default: ./BENCH_exec.json)",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        help="run only the named scenario (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    config = BenchConfig.smoke() if args.smoke else BenchConfig()
+    config = BenchConfig(
+        scale=args.scale if args.scale is not None else config.scale,
+        repeats=args.repeats if args.repeats is not None else config.repeats,
+        batch_size=args.batch_size,
+    )
+
+    results = run_benchmarks(config, names=args.scenario)
+    if not results:
+        parser.error(f"no scenario matched {args.scenario!r}")
+    print(format_results(results))
+    report = write_report(results, config, args.output)
+    print(f"\nwrote {args.output} (min speedup {report['summary']['min_speedup']}x)")
+    if not report["summary"]["parity_ok"]:
+        print("ERROR: batched/row-at-a-time parity check failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

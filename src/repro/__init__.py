@@ -43,6 +43,7 @@ from repro.core.cost import (
 )
 from repro.core.model import CorrelationProfile, HardwareParameters, TableProfile
 from repro.engine.database import Database
+from repro.engine.executor import DEFAULT_BATCH_SIZE, RowBatch
 from repro.engine.predicates import Between, Equals, InSet, PredicateSet
 from repro.engine.query import Aggregate, JoinSpec, Query, QueryResult
 
@@ -50,6 +51,8 @@ __version__ = "0.1.0"
 
 __all__ = [
     "Database",
+    "DEFAULT_BATCH_SIZE",
+    "RowBatch",
     "Query",
     "QueryResult",
     "JoinSpec",

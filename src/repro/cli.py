@@ -52,7 +52,10 @@ _DATASETS = {
 
 
 def _run_demo(
-    limit: int | None = None, join: bool = False, analyze: bool = False
+    limit: int | None = None,
+    join: bool = False,
+    analyze: bool = False,
+    batch_size: int | None = -1,
 ) -> int:
     """Inline quickstart (the installable twin of ``examples/quickstart.py``)."""
     import random
@@ -64,7 +67,15 @@ def _run_demo(
     for item_id in range(30_000):
         price = rng.uniform(0, 100_000)
         rows.append({"itemid": item_id, "catid": int(price // 500), "price": price})
-    db = Database(buffer_pool_pages=1_000)
+    if batch_size == -1:
+        db = Database(buffer_pool_pages=1_000)
+    else:
+        # --batch-size 0 runs the row-at-a-time executor; any other value
+        # sets the rows-per-batch of the batched executor.
+        db = Database(
+            buffer_pool_pages=1_000,
+            batch_size=None if batch_size == 0 else batch_size,
+        )
     db.create_table("items", sample_row=rows[0], tups_per_page=50)
     db.load("items", rows)
     db.cluster("items", "catid", pages_per_bucket=10)
@@ -228,9 +239,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also EXPLAIN ANALYZE a top-k and a grouped aggregation",
     )
+    demo.add_argument(
+        "--batch-size",
+        type=_non_negative_int,
+        default=-1,
+        help=(
+            "rows per executor batch (0 = row-at-a-time executor; "
+            "default: the engine's batch size)"
+        ),
+    )
     demo.set_defaults(
         func=lambda args: _run_demo(
-            limit=args.limit, join=args.join, analyze=args.analyze
+            limit=args.limit,
+            join=args.join,
+            analyze=args.analyze,
+            batch_size=args.batch_size,
         )
     )
     sub.add_parser("datasets", help="describe the bundled data sets").set_defaults(

@@ -34,6 +34,35 @@ Two join operator families exist:
   and stream the other input through it, turning the quadratic unindexed
   fallback into O(N + M) page reads.
 
+**Batched dataflow.**  Besides the row-at-a-time ``iter_rows`` pipelines,
+every node speaks a batch-at-a-time protocol: :meth:`PlanNode.iter_batches`
+pulls :class:`RowBatch` objects (plain lists of row dicts, default
+``batch_size`` :data:`DEFAULT_BATCH_SIZE`) through the tree, which is what
+``Database(batch_size=...)`` executes by default.  Batching amortises the
+dominant interpreter overheads -- generator frame switches, per-row emit and
+counter calls -- while keeping every simulated-disk number *bit-identical*
+to the row-at-a-time path.  Three rules make that parity hold:
+
+* **demand**: a ``demand`` row budget flows down from :class:`repro.engine.
+  plan.LimitNode`.  An operator receiving a finite demand degrades to lazy
+  row-at-a-time production (chunking its own ``_stream``), so early
+  termination stops at exactly the same row, page and CPU charge as the
+  row pipeline; blocking operators (Sort/TopK/Aggregate/GroupBy) ignore
+  demand on their input side, exactly as they drain it fully either way.
+* **run_reads**: scans may read several consecutive heap pages back-to-back
+  (charged as one sequential run) only while no operator between them and
+  the consumer issues per-row I/O.  A :class:`ProbeJoin` pulls its outer
+  side with ``run_reads=False``, which keeps the simulated head position --
+  and with it every sequential/random classification -- identical to the
+  interleaved row-at-a-time order.
+* **batched charging**: per-page/per-batch counter increments replace
+  per-row ones, but only where the totals are provably equal (the counters
+  are purely additive).
+
+``iter_rows`` remains as the compatibility surface (``Database.stream``,
+bare access paths, hand-driven contexts) and as the reference semantics the
+batched path is tested against.
+
 LIMIT enforcement lives in the plan tree (:class:`repro.engine.plan.
 LimitNode` stops pulling once its budget is spent, which abandons every
 upstream generator mid-sweep so the remaining pages are never read); the
@@ -47,20 +76,41 @@ view of one finished execution for callers that want all rows at once.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from operator import itemgetter
 from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping, Protocol, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.cost import CostSplit
     from repro.engine.access import AccessResult
 
+#: Default number of rows per :class:`RowBatch` pulled through the batched
+#: executor (the ``Database(batch_size=...)`` default).  Scans align batches
+#: to page boundaries, so actual batches round up to whole pages.
+DEFAULT_BATCH_SIZE = 256
 
-@dataclass
+
+class RowBatch(list):
+    """One batch of rows flowing between plan nodes.
+
+    A plain ``list`` subclass (C-speed append/extend/iteration, no wrapper
+    indirection on the hot path) whose type marks the batch boundary of the
+    set-at-a-time protocol.  Scan batches hold *live* heap-page dicts --
+    consumers that keep or mutate rows must copy them, exactly as with the
+    child-context rows of the row-at-a-time pipeline (``Database`` copies at
+    the plan root before handing rows to callers).
+    """
+
+    __slots__ = ()
+
+
+@dataclass(slots=True)
 class ExecutionCounters:
     """Counters charged by one plan node (or one standalone execution).
 
     Under a plan tree each node owns an instance, so per-node actual work is
     observable after a run; access paths executed outside a tree charge the
-    single instance their context carries, exactly as before.
+    single instance their context carries, exactly as before.  ``slots=True``
+    because counter attribute bumps sit on the per-row/per-page hot path.
     """
 
     rows_examined: int = 0
@@ -169,6 +219,104 @@ class ExecutionContext:
         return {column: row[column] for column in self.projection}
 
 
+def _chunk_rows(
+    rows: Iterator[dict[str, Any]],
+    batch_size: int,
+    demand: int | None = None,
+) -> Iterator[RowBatch]:
+    """Deliver a row iterator as batches, pulling at most ``demand`` rows.
+
+    The compatibility bridge between the two protocols: rows are produced
+    lazily by the underlying generator (so its accounting -- page reads, CPU
+    charges, early-termination points -- is exactly the row-at-a-time
+    pipeline's) and only *delivered* in batches.  The source generator is
+    closed deterministically when the budget is met or the consumer stops,
+    which runs the upstream ``finally`` charges just as abandoning an
+    ``iter_rows`` pipeline does.
+    """
+    remaining = demand
+    close = getattr(rows, "close", None)
+    try:
+        if remaining is not None and remaining <= 0:
+            return
+        batch = RowBatch()
+        append = batch.append
+        for row in rows:
+            append(row)
+            if remaining is not None:
+                remaining -= 1
+                if remaining <= 0:
+                    break
+            if len(batch) >= batch_size:
+                yield batch
+                batch = RowBatch()
+                append = batch.append
+        if batch:
+            yield batch
+    finally:
+        if close is not None:
+            close()
+
+
+def _truncated_batches(
+    stream: Iterator[RowBatch], demand: int | None
+) -> Iterator[RowBatch]:
+    """Guard a batch stream: drop empties, cap total rows at ``demand``.
+
+    Central enforcement point shared by every ``iter_batches`` wrapper: a
+    blocking node (Sort, TopK, GroupBy) can ignore its demand entirely --
+    its full internal work matches the row-at-a-time pipeline anyway -- and
+    still never over-produce, so per-node ``rows_out`` stays identical to
+    what a row-at-a-time consumer would have pulled.
+    """
+    produced = 0
+    try:
+        for batch in stream:
+            if not batch:
+                continue
+            if demand is not None and produced + len(batch) > demand:
+                batch = RowBatch(batch[: demand - produced])
+            produced += len(batch)
+            yield batch
+            if demand is not None and produced >= demand:
+                return
+    finally:
+        close = getattr(stream, "close", None)
+        if close is not None:
+            close()
+
+
+def _emit_batch(context: ExecutionContext, batch: RowBatch) -> RowBatch:
+    """Batch-level twin of :meth:`ExecutionContext.emit` for vectorized nodes.
+
+    Vectorized ``_stream_batches`` implementations only run when the context
+    carries no projection and no row budget (anything else falls back to the
+    chunked row pipeline), so emission parity reduces to the output count.
+    """
+    if context.count_output:
+        context.counters.rows_emitted += len(batch)
+    return batch
+
+
+def iter_batches_of(
+    source: "RowSource",
+    context: ExecutionContext,
+    batch_size: int,
+    demand: int | None = None,
+    run_reads: bool = True,
+) -> Iterator[RowBatch]:
+    """Pull batches from any row source, falling back to chunked rows.
+
+    Plan nodes and access paths implement ``iter_batches`` natively; any
+    other :class:`RowSource` is served through :func:`_chunk_rows` over its
+    ``iter_rows`` pipeline.
+    """
+    method = getattr(source, "iter_batches", None)
+    if method is not None:
+        return method(context, batch_size, demand, run_reads)
+    return _chunk_rows(source.iter_rows(context), batch_size, demand)
+
+
 class RowSource(Protocol):
     """Anything that can stream rows under an :class:`ExecutionContext`.
 
@@ -241,6 +389,76 @@ class PlanNode:
 
     def _stream(self, context: ExecutionContext) -> Iterator[dict[str, Any]]:
         raise NotImplementedError
+
+    def iter_batches(
+        self,
+        context: ExecutionContext | None = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        demand: int | None = None,
+        run_reads: bool = True,
+    ) -> Iterator[RowBatch]:
+        """Stream output as :class:`RowBatch` objects (the batched protocol).
+
+        Parameters
+        ----------
+        batch_size:
+            Target rows per batch.  Page-producing scans align batches to
+            page boundaries, so batches may round up to whole pages.
+        demand:
+            Upper bound on the total rows the consumer will take (set by
+            ``LimitNode``).  A finite demand makes streaming operators
+            degrade to lazy row-at-a-time production so early termination
+            charges exactly what the row pipeline would; the wrapper also
+            hard-truncates, so no node ever over-reports ``rows_out``.
+        run_reads:
+            Whether multi-page read-ahead runs are allowed beneath this
+            pull.  Operators that interleave their own I/O with the pull
+            (tuple-at-a-time probe joins) pass ``False`` so the simulated
+            head position stays identical to the row-at-a-time order.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        context = self.adopt(context or ExecutionContext())
+        if context.limit_reached or (demand is not None and demand <= 0):
+            return
+        actual = self.actual
+        stream = self._stream_batches(context, batch_size, demand, run_reads)
+        for batch in _truncated_batches(stream, demand):
+            actual.rows_out += len(batch)
+            yield batch
+
+    def _stream_batches(
+        self,
+        context: ExecutionContext,
+        batch_size: int,
+        demand: int | None,
+        run_reads: bool,
+    ) -> Iterator[RowBatch]:
+        """Default batch production: chunk this node's row pipeline.
+
+        Exact row-at-a-time accounting by construction -- rows are produced
+        lazily by ``_stream`` (whose ``context.emit`` calls handle output
+        counting and projection) and only delivered in batches.  Hot
+        operators override this with vectorized implementations gated to
+        the cases whose accounting they reproduce; everything else -- and
+        every demand-limited pull -- lands here.
+        """
+        yield from _chunk_rows(self._stream(context), batch_size, demand)
+
+    def _vectorizable(
+        self, context: ExecutionContext, demand: int | None
+    ) -> bool:
+        """Whether a vectorized override may run under this context.
+
+        A finite demand, a context-level row budget or a context projection
+        all carry per-row semantics the vectorized paths do not replicate;
+        overrides fall back to the chunked row pipeline for them.
+        """
+        return (
+            demand is None
+            and context.limit is None
+            and context.projection is None
+        )
 
     def adopt(self, context: ExecutionContext) -> ExecutionContext:
         """``context`` re-homed onto this node's counters (same budget/flags)."""
@@ -341,6 +559,22 @@ class ScanNode(PlanNode):
 
     def _stream(self, context: ExecutionContext) -> Iterator[dict[str, Any]]:
         yield from self.path.iter_rows(context)
+
+    def _stream_batches(
+        self,
+        context: ExecutionContext,
+        batch_size: int,
+        demand: int | None,
+        run_reads: bool,
+    ) -> Iterator[RowBatch]:
+        # Delegate to the access path's own batch production (bypassing its
+        # public wrapper: truncation and rows_out accounting happen once, in
+        # this node's iter_batches).
+        inner = getattr(self.path, "_stream_batches", None)
+        if inner is None:
+            yield from _chunk_rows(self.path.iter_rows(context), batch_size, demand)
+        else:
+            yield from inner(context, batch_size, demand, run_reads)
 
     def label(self) -> str:
         table = getattr(self.path, "table", None)
@@ -483,6 +717,51 @@ class ProbeJoin(JoinOperator):
                 if context.limit_reached:
                     return
 
+    def _stream_batches(
+        self,
+        context: ExecutionContext,
+        batch_size: int,
+        demand: int | None,
+        run_reads: bool,
+    ) -> Iterator[RowBatch]:
+        # Probing issues inner-path I/O per outer row, so this operator is
+        # itself an interleaver: with a finite demand the chunked row
+        # pipeline preserves the exact early-termination point, and beneath
+        # *another* probe join (run_reads=False) it preserves the exact
+        # outer/inner read interleaving.  The full-drain top-level case --
+        # the hot one -- runs vectorized: outer rows arrive in page-aligned
+        # batches (pulled with run_reads=False, because this operator's
+        # probes interleave with the outer sweep), each probe reuses one
+        # inner context, and merged rows leave in batches.
+        if not run_reads or not self._vectorizable(context, demand):
+            yield from PlanNode._stream_batches(
+                self, context, batch_size, demand, run_reads
+            )
+            return
+        counters = context.counters
+        inner_node = self.inner
+        inner_counters = inner_node.actual
+        inner_context = inner_node.adopt(context.child())
+        inner_context.report_rewritten_sql = False
+        bind = self.probe.bind
+        out = RowBatch()
+        for outer_batch in iter_batches_of(
+            self.source, context.child(), batch_size, None, False
+        ):
+            counters.join_probes += len(outer_batch)
+            for outer_row in outer_batch:
+                matched = 0
+                for inner_row in bind(outer_row).iter_rows(inner_context):
+                    matched += 1
+                    out.append({**outer_row, **inner_row})
+                if matched:
+                    inner_counters.rows_out += matched
+            if len(out) >= batch_size:
+                yield _emit_batch(context, out)
+                out = RowBatch()
+        if out:
+            yield _emit_batch(context, out)
+
     def describe_detail(self) -> str:
         return self.probe.describe()
 
@@ -521,13 +800,16 @@ class IndexNestedLoopJoin(ProbeJoin):
 
 
 def _key_getter(columns: Sequence[str]):
-    """A function extracting the (tuple) join key of one row."""
+    """A function extracting the join key of one row.
+
+    Built on :func:`operator.itemgetter` (a C-level extractor): a scalar for
+    single-column keys, a tuple for composites.  Both sides of a hash join
+    use the same construction, so build and probe keys always agree.
+    """
     columns = tuple(columns)
-
-    def key_of(row: Mapping[str, Any]) -> tuple[Any, ...]:
-        return tuple(row[column] for column in columns)
-
-    return key_of
+    if len(columns) == 1:
+        return itemgetter(columns[0])
+    return itemgetter(*columns)
 
 
 def _charge_cpu(path: "RowSource", tuples: int) -> None:
@@ -655,6 +937,90 @@ class HashJoin(JoinOperator):
         finally:
             _charge_cpu(self.inner_path, probe_rows)
 
+    def _stream_batches(
+        self,
+        context: ExecutionContext,
+        batch_size: int,
+        demand: int | None,
+        run_reads: bool,
+    ) -> Iterator[RowBatch]:
+        # The hash table itself issues no I/O, so batching reorders nothing:
+        # the build side drains fully before the first probe in both
+        # protocols, and probe-side page reads interleave only with memory
+        # work.  run_reads is forwarded unchanged -- beneath a probe join the
+        # inputs degrade to page-at-a-time reads, keeping the simulated head
+        # movement identical.  A finite demand (LIMIT above) falls back to
+        # the chunked row pipeline for its exact mid-probe stop.
+        if not self._vectorizable(context, demand):
+            yield from PlanNode._stream_batches(
+                self, context, batch_size, demand, run_reads
+            )
+            return
+        build_inner = self.build_side == "inner"
+        build_source = self.inner_path if build_inner else self.source
+        probe_source = self.source if build_inner else self.inner_path
+        build_key = self._inner_key if build_inner else self._outer_key
+        probe_key = self._outer_key if build_inner else self._inner_key
+
+        build_context = context.child()
+        if build_inner:
+            build_context.report_rewritten_sql = False
+        table: dict[Any, list[Mapping[str, Any]]] = {}
+        setdefault = table.setdefault
+        build_rows = 0
+        try:
+            for batch in iter_batches_of(
+                build_source, build_context, batch_size, None, run_reads
+            ):
+                build_rows += len(batch)
+                for row in batch:
+                    setdefault(build_key(row), []).append(row)
+        finally:
+            _charge_cpu(self.inner_path, build_rows)
+        if not table:
+            return  # empty build side: never pull a single probe row
+
+        probe_context = context.child()
+        if not build_inner:
+            probe_context.report_rewritten_sql = False
+        counters = context.counters
+        get = table.get
+        empty: tuple = ()
+        probe_rows = 0
+        out = RowBatch()
+        try:
+            for batch in iter_batches_of(
+                probe_source, probe_context, batch_size, None, run_reads
+            ):
+                probe_rows += len(batch)
+                counters.join_probes += len(batch)
+                # One C-driven comprehension per probe batch: key extraction
+                # (itemgetter), hash lookup and dict merge all run without a
+                # per-row interpreter frame.
+                if build_inner:
+                    out.extend(
+                        [
+                            {**probe_row, **inner_row}
+                            for probe_row in batch
+                            for inner_row in get(probe_key(probe_row), empty)
+                        ]
+                    )
+                else:
+                    out.extend(
+                        [
+                            {**outer_row, **probe_row}
+                            for probe_row in batch
+                            for outer_row in get(probe_key(probe_row), empty)
+                        ]
+                    )
+                if len(out) >= batch_size:
+                    yield _emit_batch(context, out)
+                    out = RowBatch()
+        finally:
+            _charge_cpu(self.inner_path, probe_rows)
+        if out:
+            yield _emit_batch(context, out)
+
     def describe_detail(self) -> str:
         keys = ", ".join(inner for _outer, inner in self.join_on)
         label = self.inner_label or self.inner_path.__class__.__name__
@@ -677,6 +1043,13 @@ class SortMergeJoin(JoinOperator):
 
     Duplicate keys merge as group cross-products, so all-duplicate inputs
     degrade gracefully to the full cartesian block rather than losing rows.
+
+    Under the batched protocol this operator keeps the default chunked row
+    production (:meth:`PlanNode._stream_batches`): a lazy merge interleaves
+    outer and inner page reads row by row, and may abandon the outer sweep
+    the moment the inner side is exhausted -- both behaviours the vectorized
+    read-ahead pattern could not reproduce bit-identically.  Batches still
+    amortise delivery to downstream operators.
     """
 
     name = "sort_merge_join"

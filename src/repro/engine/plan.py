@@ -39,7 +39,13 @@ import heapq
 from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from repro.core.cost import sort_comparison_count, top_k_comparison_count
-from repro.engine.executor import ExecutionContext, PlanNode
+from repro.engine.executor import (
+    ExecutionContext,
+    PlanNode,
+    RowBatch,
+    _emit_batch,
+    iter_batches_of,
+)
 from repro.engine.query import Aggregate
 
 
@@ -142,6 +148,24 @@ class DecoratorNode(PlanNode):
         if self.disk is not None and tuples > 0:
             self.disk.charge_cpu_tuples(int(tuples))
 
+    def _source_batches(
+        self,
+        context: ExecutionContext,
+        batch_size: int,
+        demand: int | None = None,
+        run_reads: bool = True,
+    ) -> Iterator[RowBatch]:
+        """Pull batches from the child under a child context."""
+        return iter_batches_of(
+            self.source, context.child(), batch_size, demand, run_reads
+        )
+
+    @staticmethod
+    def _chunks(rows: Sequence[dict[str, Any]], batch_size: int) -> Iterator[RowBatch]:
+        """Slice an already-materialised row list into batches."""
+        for start in range(0, len(rows), batch_size):
+            yield RowBatch(rows[start : start + batch_size])
+
 
 class SortNode(DecoratorNode):
     """Full in-memory ORDER BY: buffer the input, sort, re-emit.
@@ -173,6 +197,30 @@ class SortNode(DecoratorNode):
         fresh = self.source_fresh
         for row in rows:
             yield context.emit(row, fresh=fresh)
+
+    def _stream_batches(
+        self,
+        context: ExecutionContext,
+        batch_size: int,
+        demand: int | None,
+        run_reads: bool,
+    ) -> Iterator[RowBatch]:
+        # Blocking: the input is drained and sorted in full whatever the
+        # consumer's demand (exactly as in the row pipeline), so demand only
+        # caps the output -- which the iter_batches wrapper enforces.
+        if context.limit is not None or context.projection is not None:
+            yield from PlanNode._stream_batches(
+                self, context, batch_size, demand, run_reads
+            )
+            return
+        rows: list[dict[str, Any]] = []
+        for batch in self._source_batches(context, batch_size, None, run_reads):
+            rows.extend(batch)
+        self.rows_in = len(rows)
+        self._charge_cpu(sort_comparison_count(len(rows)))
+        rows.sort(key=sort_key_function(self.ordering))
+        for chunk in self._chunks(rows, batch_size):
+            yield _emit_batch(context, chunk)
 
     def describe_detail(self) -> str:
         return _ordering_text(self.ordering)
@@ -233,6 +281,39 @@ class TopKNode(DecoratorNode):
         for entry in sorted(heap, key=lambda item: item[0].key):
             yield context.emit(entry[1], fresh=fresh)
 
+    def _stream_batches(
+        self,
+        context: ExecutionContext,
+        batch_size: int,
+        demand: int | None,
+        run_reads: bool,
+    ) -> Iterator[RowBatch]:
+        # Blocking: the whole input flows through the k-heap either way.
+        if context.limit is not None or context.projection is not None:
+            yield from PlanNode._stream_batches(
+                self, context, batch_size, demand, run_reads
+            )
+            return
+        if self.k == 0:
+            return
+        key_of = sort_key_function(self.ordering)
+        heap: list[tuple[_MaxHeapEntry, dict[str, Any]]] = []
+        k = self.k
+        seq = 0
+        for batch in self._source_batches(context, batch_size, None, run_reads):
+            for row in batch:
+                entry_key = (key_of(row), seq)
+                seq += 1
+                if len(heap) < k:
+                    heapq.heappush(heap, (_MaxHeapEntry(entry_key), row))
+                elif entry_key < heap[0][0].key:
+                    heapq.heapreplace(heap, (_MaxHeapEntry(entry_key), row))
+        self.rows_in = seq
+        self._charge_cpu(top_k_comparison_count(seq, self.k))
+        ordered = [entry[1] for entry in sorted(heap, key=lambda item: item[0].key)]
+        for chunk in self._chunks(ordered, batch_size):
+            yield _emit_batch(context, chunk)
+
     def describe_detail(self) -> str:
         return f"{_ordering_text(self.ordering)}, k={self.k}"
 
@@ -267,6 +348,31 @@ class AggregateNode(DecoratorNode):
         self._charge_cpu(rows_in)
         self.value = accumulator.result()
         yield context.emit({self.aggregate.output_name: self.value}, fresh=True)
+
+    def _stream_batches(
+        self,
+        context: ExecutionContext,
+        batch_size: int,
+        demand: int | None,
+        run_reads: bool,
+    ) -> Iterator[RowBatch]:
+        if context.limit is not None or context.projection is not None:
+            yield from PlanNode._stream_batches(
+                self, context, batch_size, demand, run_reads
+            )
+            return
+        accumulator = self.aggregate.make_accumulator()
+        add_batch = accumulator.add_batch
+        rows_in = 0
+        for batch in self._source_batches(context, batch_size, None, run_reads):
+            add_batch(batch)
+            rows_in += len(batch)
+        self.rows_in = rows_in
+        self._charge_cpu(rows_in)
+        self.value = accumulator.result()
+        yield _emit_batch(
+            context, RowBatch(({self.aggregate.output_name: self.value},))
+        )
 
     def describe_detail(self) -> str:
         return self.aggregate.output_name
@@ -317,6 +423,60 @@ class GroupByNode(DecoratorNode):
             merged[output_name] = accumulator.result()
             yield context.emit(merged, fresh=True)
 
+    def _stream_batches(
+        self,
+        context: ExecutionContext,
+        batch_size: int,
+        demand: int | None,
+        run_reads: bool,
+    ) -> Iterator[RowBatch]:
+        # Blocking: every input row lands in an accumulator whatever the
+        # demand; a LIMIT above only caps how many *group* rows leave.
+        if context.limit is not None or context.projection is not None:
+            yield from PlanNode._stream_batches(
+                self, context, batch_size, demand, run_reads
+            )
+            return
+        groups: dict[Any, Any] = {}
+        get = groups.get
+        make = self.aggregate.make_accumulator
+        columns = self.group_columns
+        single = columns[0] if len(columns) == 1 else None
+        rows_in = 0
+        for batch in self._source_batches(context, batch_size, None, run_reads):
+            rows_in += len(batch)
+            if single is not None:
+                for row in batch:
+                    key = row[single]
+                    accumulator = get(key)
+                    if accumulator is None:
+                        accumulator = groups[key] = make()
+                    accumulator.add(row)
+            else:
+                for row in batch:
+                    key = tuple(row[column] for column in columns)
+                    accumulator = get(key)
+                    if accumulator is None:
+                        accumulator = groups[key] = make()
+                    accumulator.add(row)
+        self.rows_in = rows_in
+        self.groups_out = len(groups)
+        self._charge_cpu(rows_in)
+        output_name = self.aggregate.output_name
+        out = RowBatch()
+        for key, accumulator in groups.items():
+            if single is not None:
+                merged = {single: key}
+            else:
+                merged = dict(zip(columns, key))
+            merged[output_name] = accumulator.result()
+            out.append(merged)
+            if len(out) >= batch_size:
+                yield _emit_batch(context, out)
+                out = RowBatch()
+        if out:
+            yield _emit_batch(context, out)
+
     def describe_detail(self) -> str:
         return f"{', '.join(self.group_columns)}: {self.aggregate.output_name}"
 
@@ -353,6 +513,29 @@ class LimitNode(DecoratorNode):
             if produced >= self.k:
                 return
 
+    def _stream_batches(
+        self,
+        context: ExecutionContext,
+        batch_size: int,
+        demand: int | None,
+        run_reads: bool,
+    ) -> Iterator[RowBatch]:
+        # The origin of the demand budget: the child receives k (or less) as
+        # its demand.  Streaming children degrade to exact lazy production;
+        # blocking children ignore the budget, as they must.
+        if context.limit is not None or context.projection is not None:
+            yield from PlanNode._stream_batches(
+                self, context, batch_size, demand, run_reads
+            )
+            return
+        if self.k == 0:
+            return
+        child_demand = self.k if demand is None else min(self.k, demand)
+        for batch in self._source_batches(
+            context, batch_size, child_demand, run_reads
+        ):
+            yield _emit_batch(context, batch)
+
     def describe_detail(self) -> str:
         return str(self.k)
 
@@ -372,6 +555,28 @@ class ProjectNode(DecoratorNode):
         for row in self.source.iter_rows(context.child()):
             yield context.emit(
                 {column: row[column] for column in columns}, fresh=True
+            )
+
+    def _stream_batches(
+        self,
+        context: ExecutionContext,
+        batch_size: int,
+        demand: int | None,
+        run_reads: bool,
+    ) -> Iterator[RowBatch]:
+        # Row-count preserving and free of I/O/charging, so a finite demand
+        # forwards to the child unchanged and the projection stays a
+        # C-driven list comprehension per batch.
+        if context.limit is not None or context.projection is not None:
+            yield from PlanNode._stream_batches(
+                self, context, batch_size, demand, run_reads
+            )
+            return
+        columns = self.columns
+        for batch in self._source_batches(context, batch_size, demand, run_reads):
+            yield _emit_batch(
+                context,
+                RowBatch([{column: row[column] for column in columns} for row in batch]),
             )
 
     def describe_detail(self) -> str:

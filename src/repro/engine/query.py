@@ -59,6 +59,35 @@ class AggregateAccumulator:
         else:
             self._sum = self._sum + value
 
+    def add_batch(self, rows: Sequence[Mapping[str, Any]]) -> None:
+        """Fold a whole batch into the running state.
+
+        Equivalent to calling :meth:`add` once per row, with the per-row
+        dispatch hoisted out of the loop: ``count`` reduces to one integer
+        addition per batch, value extraction runs through a C-level
+        ``map``/comprehension, and ``count_distinct`` updates its set in one
+        call.  Sums accumulate left to right exactly as repeated :meth:`add`
+        calls would, so floating-point results stay bit-identical between
+        the row-at-a-time and batched executors.
+        """
+        aggregate = self._aggregate
+        kind = aggregate.kind
+        self._count += len(rows)
+        if kind == "count":
+            return
+        expression = aggregate.expression
+        if callable(expression):
+            values = map(expression, rows)
+        else:
+            values = (row[expression] for row in rows)
+        if self._distinct is not None:
+            self._distinct.update(values)
+        else:
+            total = self._sum
+            for value in values:
+                total = total + value
+            self._sum = total
+
     def result(self) -> Any:
         kind = self._aggregate.kind
         if kind == "count":

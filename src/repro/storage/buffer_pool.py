@@ -93,6 +93,48 @@ class BufferPool:
         self._evict_if_needed()
         return False
 
+    def access_run(self, file_name: str, page_nos) -> int:
+        """Access a batch of pages, charging consecutive misses as one run.
+
+        Behaviourally identical to calling :meth:`access` once per page --
+        same hits/misses, same evictions in the same order, same
+        sequential/random classification -- but misses of consecutive pages
+        reach the disk tracker through a single
+        :meth:`~repro.storage.disk.DiskModel.read_page_run` call.  A pending
+        run is flushed before any eviction, so a dirty write-back lands
+        between the same reads it would under per-page access (the simulated
+        head position, and with it every later classification, is
+        preserved).  Returns the number of buffer hits.
+        """
+        frames = self._frames
+        stats = self.stats
+        disk = self.disk
+        hits = 0
+        run_start = 0
+        run_len = 0
+        for page_no in page_nos:
+            key = (file_name, page_no)
+            if key in frames:
+                stats.hits += 1
+                self._touch(key, False)
+                hits += 1
+                continue
+            stats.misses += 1
+            if run_len and page_no == run_start + run_len:
+                run_len += 1
+            else:
+                if run_len:
+                    disk.read_page_run(file_name, run_start, run_len)
+                run_start, run_len = page_no, 1
+            frames[key] = False
+            if len(frames) > self.capacity_pages:
+                disk.read_page_run(file_name, run_start, run_len)
+                run_len = 0
+                self._evict_if_needed()
+        if run_len:
+            disk.read_page_run(file_name, run_start, run_len)
+        return hits
+
     def create(self, file_name: str, page_no: int) -> None:
         """Register a freshly allocated page (no read I/O) as dirty."""
         key = (file_name, page_no)

@@ -135,6 +135,27 @@ class IOTracker:
         self._last_file = file_name
         self._last_page = page_no
 
+    def record_read_run(self, file_name: str, start_page: int, count: int) -> None:
+        """Record ``count`` consecutive page reads with one call.
+
+        Equivalent to ``count`` :meth:`record_read` calls over
+        ``start_page .. start_page + count - 1``: only the first page can be
+        a seek (it is classified against the head position exactly as a
+        single read would be), every following page of the run is sequential
+        by construction.  The batched executor uses this to charge a page
+        run it read back-to-back without paying ``count`` Python calls into
+        the tracker.
+        """
+        if count <= 0:
+            return
+        if self._is_sequential(file_name, start_page):
+            self.counters.sequential_reads += count
+        else:
+            self.counters.random_reads += 1
+            self.counters.sequential_reads += count - 1
+        self._last_file = file_name
+        self._last_page = start_page + count - 1
+
     def record_write(self, file_name: str, page_no: int) -> None:
         if self._is_sequential(file_name, page_no):
             self.counters.sequential_writes += 1
@@ -179,6 +200,10 @@ class DiskModel:
 
     def read_page(self, file_name: str, page_no: int) -> None:
         self.tracker.record_read(file_name, page_no)
+
+    def read_page_run(self, file_name: str, start_page: int, count: int) -> None:
+        """Charge ``count`` consecutive page reads in one accounting call."""
+        self.tracker.record_read_run(file_name, start_page, count)
 
     def write_page(self, file_name: str, page_no: int) -> None:
         self.tracker.record_write(file_name, page_no)

@@ -142,6 +142,22 @@ class HeapFile:
             for slot, row in page.live_rows():
                 yield RID(page.page_no, slot), row
 
+    def read_pages(
+        self, page_numbers, *, charge_io: bool = True
+    ) -> list[Page]:
+        """Read a batch of pages and return them, charging runs in one call.
+
+        The batched scan kernel reads its next chunk of pages back-to-back
+        before filtering any of their tuples, so consecutive misses are
+        charged through :meth:`BufferPool.access_run` -- identical counters
+        to per-page :meth:`read_page` calls, fewer accounting calls.
+        """
+        pages = [self._page(page_no) for page_no in page_numbers]
+        self.logical_page_reads += len(pages)
+        if charge_io:
+            self.buffer_pool.access_run(self.name, [page.page_no for page in pages])
+        return pages
+
     def scan_pages(
         self, page_numbers: Iterator[int] | list[int], *, charge_io: bool = True
     ) -> Iterator[tuple[RID, dict[str, Any]]]:

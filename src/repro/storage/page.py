@@ -14,9 +14,14 @@ from typing import Any, Iterator
 PAGE_SIZE_BYTES = 8192
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class RID:
-    """A record identifier: heap page number plus slot within the page."""
+    """A record identifier: heap page number plus slot within the page.
+
+    ``slots=True``: RIDs exist by the million (one per tuple, held by every
+    secondary index), so dropping the per-instance ``__dict__`` measurably
+    shrinks index memory and speeds attribute access on the probe hot path.
+    """
 
     page_no: int
     slot: int
@@ -25,12 +30,14 @@ class RID:
         return f"RID({self.page_no}, {self.slot})"
 
 
-@dataclass
+@dataclass(slots=True)
 class Page:
     """A slotted heap page holding up to ``capacity`` tuples.
 
     Tuples are stored as plain dictionaries keyed by column name.  Deleted
     slots are set to ``None`` so that RIDs of surviving tuples stay valid.
+    ``slots=True`` keeps the per-page object slim and its attribute reads
+    cheap -- the batched scan kernel touches ``page.slots`` once per page.
     """
 
     page_no: int

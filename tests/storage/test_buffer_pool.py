@@ -111,3 +111,51 @@ def test_resident_and_dirty_page_counts():
     pool.access("f", 2, dirty=True)
     assert pool.resident_pages == 3
     assert pool.dirty_pages == 2
+
+
+class TestAccessRun:
+    """access_run must behave exactly like per-page access() calls."""
+
+    def _compare(self, page_lists, capacity=4, pre_dirty=()):
+        """Drive both APIs through the same access pattern and diff them."""
+        per_disk, per_pool = make_pool(capacity)
+        run_disk, run_pool = make_pool(capacity)
+        for file_name, page_no in pre_dirty:
+            per_pool.access(file_name, page_no, dirty=True)
+            run_pool.access(file_name, page_no, dirty=True)
+        for file_name, pages in page_lists:
+            hits = 0
+            for page_no in pages:
+                if per_pool.access(file_name, page_no):
+                    hits += 1
+            assert run_pool.access_run(file_name, pages) == hits
+        assert run_disk.counters == per_disk.counters
+        assert vars(run_pool.stats) == vars(per_pool.stats)
+        assert run_pool._frames == per_pool._frames
+
+    def test_consecutive_miss_run(self):
+        self._compare([("f", [0, 1, 2, 3])])
+
+    def test_run_with_hits_in_the_middle(self):
+        self._compare([("f", [2]), ("f", [0, 1, 2, 3, 4])], capacity=10)
+
+    def test_non_consecutive_pages_split_runs(self):
+        self._compare([("f", [0, 1, 5, 6, 9])], capacity=10)
+
+    def test_eviction_interleaves_identically(self):
+        self._compare([("f", list(range(10)))], capacity=3)
+
+    def test_dirty_eviction_write_lands_between_the_same_reads(self):
+        # Dirty pages already resident are evicted (and written) mid-run;
+        # the write must hit the disk tracker at the same point in the read
+        # sequence as with per-page access, or head classification drifts.
+        self._compare(
+            [("f", list(range(10, 18)))],
+            capacity=3,
+            pre_dirty=[("g", 0), ("g", 1), ("g", 2)],
+        )
+
+    def test_runs_across_files_alternate(self):
+        self._compare(
+            [("a", [0, 1, 2]), ("b", [0, 1]), ("a", [3, 4])], capacity=20
+        )

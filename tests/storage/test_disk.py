@@ -109,3 +109,51 @@ def test_breakdown_subtract_and_copy():
 def test_breakdown_seeks_property():
     breakdown = IOBreakdown(random_reads=2, random_writes=3, log_flushes=1)
     assert breakdown.seeks == 6
+
+
+class TestReadRunCharging:
+    """record_read_run must be call-for-call equivalent to per-page reads."""
+
+    def _sequence(self, disk):
+        disk.read_page("heap", 40)          # position the head
+        disk.read_page("other", 7)          # move it to another file
+
+    def test_run_matches_per_page_reads(self):
+        per_page = DiskModel()
+        self._sequence(per_page)
+        for page_no in range(10, 16):
+            per_page.read_page("heap", page_no)
+
+        run = DiskModel()
+        self._sequence(run)
+        run.read_page_run("heap", 10, 6)
+
+        assert run.counters == per_page.counters
+        assert run.elapsed_ms() == pytest.approx(per_page.elapsed_ms())
+
+    def test_run_continuing_the_head_is_fully_sequential(self):
+        disk = DiskModel()
+        disk.read_page("heap", 9)
+        disk.read_page_run("heap", 10, 5)
+        assert disk.counters.random_reads == 1  # only the initial positioning
+        assert disk.counters.sequential_reads == 5
+
+    def test_run_leaves_head_at_last_page(self):
+        disk = DiskModel()
+        disk.read_page_run("heap", 10, 3)   # head now at page 12
+        disk.read_page("heap", 13)
+        assert disk.counters.sequential_reads == 3
+        assert disk.counters.random_reads == 1
+
+    def test_empty_run_is_a_no_op(self):
+        disk = DiskModel()
+        disk.read_page_run("heap", 10, 0)
+        assert disk.counters == IOBreakdown()
+
+    def test_interleaved_runs_between_files_still_seek(self):
+        disk = DiskModel()
+        disk.read_page_run("heap", 0, 4)
+        disk.read_page_run("index", 0, 4)
+        disk.read_page_run("heap", 4, 4)    # continues heap, but head moved
+        assert disk.counters.random_reads == 3
+        assert disk.counters.sequential_reads == 9

@@ -1,0 +1,102 @@
+"""Tests for the wall-clock benchmark harness and its JSON report."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench.wallclock import (
+    REPORT_SCHEMA,
+    BenchConfig,
+    build_report,
+    format_results,
+    run_benchmarks,
+    write_report,
+)
+
+TINY = BenchConfig(scale=0.05, repeats=1)
+
+
+@pytest.fixture(scope="module")
+def tiny_results():
+    return run_benchmarks(TINY)
+
+
+def test_scenarios_cover_the_advertised_shapes(tiny_results):
+    names = {result.name for result in tiny_results}
+    assert names == {
+        "scan_filter",
+        "full_scan_aggregate",
+        "unindexed_join",
+        "top_k",
+        "group_by",
+    }
+
+
+def test_every_scenario_passes_parity_at_tiny_scale(tiny_results):
+    for result in tiny_results:
+        assert result.parity_ok, result.name
+        assert result.rows_matched > 0 or result.name == "top_k"
+        assert result.row_seconds > 0 and result.batched_seconds > 0
+
+
+def test_report_structure_and_round_trip(tiny_results, tmp_path):
+    path = tmp_path / "BENCH_exec.json"
+    report = write_report(tiny_results, TINY, str(path))
+    assert report["schema"] == REPORT_SCHEMA
+    on_disk = json.loads(path.read_text())
+    assert on_disk == report
+    assert set(on_disk["scenarios"]) == {r.name for r in tiny_results}
+    summary = on_disk["summary"]
+    assert summary["parity_ok"] is True
+    assert summary["min_speedup"] is not None
+    assert set(summary["flagship_speedups"]) <= {
+        "full_scan_aggregate",
+        "unindexed_join",
+    }
+    for payload in on_disk["scenarios"].values():
+        assert {
+            "name",
+            "rows_matched",
+            "pages_visited",
+            "simulated_ms",
+            "row_seconds",
+            "batched_seconds",
+            "speedup",
+            "parity_ok",
+        } <= set(payload)
+
+
+def test_format_results_renders_one_line_per_scenario(tiny_results):
+    text = format_results(tiny_results)
+    for result in tiny_results:
+        assert result.name in text
+
+
+def test_cli_script_smoke(tmp_path):
+    """scripts/bench_wallclock.py runs end to end and writes the report."""
+    repo_root = Path(__file__).resolve().parent.parent
+    output = tmp_path / "BENCH_exec.json"
+    completed = subprocess.run(
+        [
+            sys.executable,
+            str(repo_root / "scripts" / "bench_wallclock.py"),
+            "--scale",
+            "0.05",
+            "--repeats",
+            "1",
+            "--scenario",
+            "full_scan_aggregate",
+            "--output",
+            str(output),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    report = json.loads(output.read_text())
+    assert report["schema"] == REPORT_SCHEMA
+    assert "full_scan_aggregate" in report["scenarios"]
