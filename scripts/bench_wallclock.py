@@ -13,14 +13,20 @@ Usage::
     PYTHONPATH=src python scripts/bench_wallclock.py [--smoke]
         [--scale X] [--repeats N] [--batch-size N]
         [--output BENCH_exec.json] [--scenario NAME ...]
+        [--check-floor COMMITTED.json] [--floor-headroom 0.5]
 
-Exits non-zero if any scenario's parity check fails (wall-clock numbers are
-machine-dependent and never gate by themselves).
+Exits non-zero if any scenario's parity check fails.  With ``--check-floor``
+it also fails when the fresh run's ``summary.min_speedup`` drops below the
+committed report's floor scaled by ``--floor-headroom`` -- the CI regression
+smoke.  The headroom (default 0.5: regression means losing more than half
+the committed speedup) absorbs runner noise; raw wall-clock numbers are
+machine-dependent and never gate at 1:1.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -60,7 +66,30 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="run only the named scenario (repeatable)",
     )
+    parser.add_argument(
+        "--check-floor",
+        default=None,
+        metavar="COMMITTED.json",
+        help="fail if min_speedup regresses below this committed report's "
+        "floor (scaled by --floor-headroom)",
+    )
+    parser.add_argument(
+        "--floor-headroom",
+        type=float,
+        default=0.5,
+        help="fraction of the committed min_speedup the fresh run must keep "
+        "(default 0.5, absorbing runner noise)",
+    )
     args = parser.parse_args(argv)
+
+    # Read the committed floor before the run: --output may overwrite the
+    # very file --check-floor points at.
+    floor = None
+    if args.check_floor is not None:
+        with open(args.check_floor, encoding="utf-8") as handle:
+            committed = json.load(handle)
+        committed_min = committed["summary"]["min_speedup"]
+        floor = committed_min * args.floor_headroom
 
     config = BenchConfig.smoke() if args.smoke else BenchConfig()
     config = BenchConfig(
@@ -78,6 +107,20 @@ def main(argv: list[str] | None = None) -> int:
     if not report["summary"]["parity_ok"]:
         print("ERROR: batched/row-at-a-time parity check failed", file=sys.stderr)
         return 1
+    if floor is not None:
+        fresh_min = report["summary"]["min_speedup"]
+        if fresh_min < floor:
+            print(
+                f"ERROR: min speedup {fresh_min}x regressed below the "
+                f"committed floor {committed_min}x * {args.floor_headroom} "
+                f"headroom = {floor:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"floor check ok: {fresh_min}x >= {floor:.2f}x "
+            f"(committed {committed_min}x * {args.floor_headroom})"
+        )
     return 0
 
 

@@ -149,6 +149,24 @@ def build_scenarios(config: BenchConfig) -> list[_Scenario]:
             ),
             {"force": "seq_scan"},
         ),
+        _Scenario(
+            "order_by_full",
+            "ORDER BY price DESC without LIMIT (full in-memory sort)",
+            items,
+            Query.select("items", Between("price", 25_000, 75_000)).order_by(
+                "-price"
+            ),
+            {"force": "seq_scan"},
+        ),
+        _Scenario(
+            "sort_merge_join",
+            "filtered lineitem JOIN orders forced through the sort-merge merge",
+            join_db,
+            Query.select("lineitem", Between("shipdate", 60, 150)).join(
+                "orders", on="orderkey"
+            ),
+            {"force": "seq_scan", "force_join": "sort_merge_join"},
+        ),
     ]
 
 

@@ -159,6 +159,32 @@ class AccessPath:
             self._target_pages(context), context, batch_size, run_reads
         )
 
+    def project_batches(
+        self,
+        context: ExecutionContext,
+        batch_size: int,
+        run_reads: bool,
+        columns: Sequence[str],
+    ) -> Iterator[RowBatch]:
+        """Fused scan→filter→project batch production.
+
+        Drives the batched sweep kernel with the projection folded into the
+        compiled per-page kernel (see
+        :meth:`~repro.engine.predicates.PredicateSet.batch_kernel`), so a
+        ProjectNode sitting directly on a scan materialises no intermediate
+        full-width batch.  Only called on the vectorized path: ``context``
+        must carry no LIMIT budget or context-level projection.
+        """
+        if context.limit_reached:
+            return
+        yield from self._sweep_pages_batched(
+            self._target_pages(context),
+            context,
+            batch_size,
+            run_reads,
+            project=tuple(columns),
+        )
+
     def execute(self, context: ExecutionContext | None = None) -> AccessResult:
         """Materialise the stream into an :class:`AccessResult` (compatibility)."""
         return materialize(self, context)
@@ -218,15 +244,21 @@ class AccessPath:
         context: ExecutionContext,
         batch_size: int,
         run_reads: bool,
+        project: tuple[str, ...] | None = None,
     ) -> Iterator[RowBatch]:
         """Batched twin of :meth:`_sweep_pages`: filter a page per iteration.
 
         Pages are read in chunks sized to round ``batch_size`` up to whole
         pages (page-aligned batches); each chunk of consecutive pages is
         charged through one :meth:`~repro.storage.heap.HeapFile.read_pages`
-        run, each page's live tuples are filtered with a C-driven loop, and
-        the counters are bumped once per page/chunk -- identical totals to
-        the per-row kernel with a fraction of its interpreter operations.
+        run, each page's live tuples are filtered with one compiled
+        filter(+project) kernel pass, and the counters are bumped once per
+        page/chunk -- identical totals to the per-row kernel with a fraction
+        of its interpreter operations.
+
+        With ``project`` the kernel's output element is a fresh dict of just
+        those columns (the scan→filter→project fusion entry point,
+        :meth:`project_batches`); predicates still see the full rows.
 
         With ``run_reads=False`` (the consumer interleaves its own I/O, e.g.
         a probe join's inner lookups) the kernel reads and yields one page
@@ -235,7 +267,10 @@ class AccessPath:
         """
         heap = self.table.heap
         counters = context.counters
-        predicates = self.predicates if self.predicates else None
+        if self.predicates or project is not None:
+            kernel = self.predicates.batch_kernel(project)
+        else:
+            kernel = None
         if run_reads:
             pages_per_chunk = max(1, -(-batch_size // max(1, heap.tups_per_page)))
         else:
@@ -252,10 +287,10 @@ class AccessPath:
                     counters.pages_visited += 1
                     live = [row for row in page.slots if row is not None]
                     examined += len(live)
-                    if predicates is None:
+                    if kernel is None:
                         batch.extend(live)
                     else:
-                        batch.extend(predicates.batch_filter(live))
+                        batch.extend(kernel(live))
             finally:
                 if examined:
                     counters.rows_examined += examined
@@ -439,6 +474,22 @@ class PipelinedIndexScan(AccessPath):
                 self._charge_cpu(examined)
         if batch:
             yield _emit_batch(context, batch)
+
+    def project_batches(
+        self,
+        context: ExecutionContext,
+        batch_size: int,
+        run_reads: bool,
+        columns: Sequence[str],
+    ) -> Iterator[RowBatch]:
+        """Probe-order fetches have no page sweep to fuse the projection
+        into: project each delivered batch with one comprehension instead
+        (same accounting, still no full-width batch handed upward)."""
+        columns = tuple(columns)
+        for batch in self._stream_batches(context, batch_size, None, run_reads):
+            yield RowBatch(
+                [{column: row[column] for column in columns} for row in batch]
+            )
 
 
 class ClusteredIndexScan(AccessPath):

@@ -98,9 +98,27 @@ class RowBatch(list):
     consumers that keep or mutate rows must copy them, exactly as with the
     child-context rows of the row-at-a-time pipeline (``Database`` copies at
     the plan root before handing rows to callers).
+
+    The row-dict view is the source of truth; per-column vectors are
+    *lazily materialised* by :meth:`column`/:meth:`key_vector` with one
+    C-driven pass when a kernel wants columnar input (sort keys, group
+    keys, join keys).  Vectors are never cached on the batch: batches are
+    consumed exactly once, and caching would tax the append/extend hot
+    path of every producer for a view most batches never need.
     """
 
     __slots__ = ()
+
+    def column(self, name: str) -> list[Any]:
+        """This batch's values for one column, as a fresh list."""
+        return [row[name] for row in self]
+
+    def key_vector(self, columns: Sequence[str]) -> list[Any]:
+        """Per-row key values for ``columns``: scalars for a single
+        column, tuples for composites (matching :func:`_key_getter`)."""
+        if len(columns) == 1:
+            return [row[columns[0]] for row in self]
+        return list(map(itemgetter(*columns), self))
 
 
 @dataclass(slots=True)
@@ -852,6 +870,31 @@ def _ordering_key_getter(columns: Sequence[str]):
     return key_of
 
 
+def _sorted_with_keys(
+    rows: list[Mapping[str, Any]], columns: Sequence[str]
+) -> tuple[list[Any], list[Mapping[str, Any]]]:
+    """``rows`` sorted by the NULL-aware merge key, plus the key vector.
+
+    The columnar twin of ``sorted(rows, key=_ordering_key_getter(columns))``:
+    per-column ``(is_none, value)`` pair vectors are built with one
+    comprehension pass each, zipped into per-row key tuples (the exact
+    structure :func:`_ordering_key_getter` produces, so both construction
+    routes order and equate identically), and one C-driven sort over
+    ``(key, index, row)`` triples replaces per-row key building.  The unique
+    index keeps the sort stable and keeps the row dicts out of comparisons.
+    Returns ``(sorted_keys, sorted_rows)``.
+    """
+    if not rows:
+        return [], []
+    pair_columns = []
+    for column in columns:
+        values = [row[column] for row in rows]
+        pair_columns.append([(value is None, value) for value in values])
+    keys = list(zip(*pair_columns))
+    decorated = sorted(zip(keys, range(len(rows)), rows))
+    return [entry[0] for entry in decorated], [entry[2] for entry in decorated]
+
+
 class HashJoin(JoinOperator):
     """Streaming hash join: build one side's hash table, stream the other.
 
@@ -973,8 +1016,10 @@ class HashJoin(JoinOperator):
                 build_source, build_context, batch_size, None, run_reads
             ):
                 build_rows += len(batch)
-                for row in batch:
-                    setdefault(build_key(row), []).append(row)
+                # Keys for the whole batch come from one C-level map pass;
+                # the remaining per-row work is the table insert itself.
+                for key, row in zip(map(build_key, batch), batch):
+                    setdefault(key, []).append(row)
         finally:
             _charge_cpu(self.inner_path, build_rows)
         if not table:
@@ -1001,16 +1046,16 @@ class HashJoin(JoinOperator):
                     out.extend(
                         [
                             {**probe_row, **inner_row}
-                            for probe_row in batch
-                            for inner_row in get(probe_key(probe_row), empty)
+                            for probe_row, key in zip(batch, map(probe_key, batch))
+                            for inner_row in get(key, empty)
                         ]
                     )
                 else:
                     out.extend(
                         [
                             {**outer_row, **probe_row}
-                            for probe_row in batch
-                            for outer_row in get(probe_key(probe_row), empty)
+                            for probe_row, key in zip(batch, map(probe_key, batch))
+                            for outer_row in get(key, empty)
                         ]
                     )
                 if len(out) >= batch_size:
@@ -1044,12 +1089,16 @@ class SortMergeJoin(JoinOperator):
     Duplicate keys merge as group cross-products, so all-duplicate inputs
     degrade gracefully to the full cartesian block rather than losing rows.
 
-    Under the batched protocol this operator keeps the default chunked row
-    production (:meth:`PlanNode._stream_batches`): a lazy merge interleaves
-    outer and inner page reads row by row, and may abandon the outer sweep
-    the moment the inner side is exhausted -- both behaviours the vectorized
-    read-ahead pattern could not reproduce bit-identically.  Batches still
-    amortise delivery to downstream operators.
+    Under the batched protocol the common both-sides-materialised case runs
+    a columnar merge (:meth:`_stream_batches`): all I/O happens in two full
+    upfront drains -- outer first, inner only once the outer proved
+    non-empty, exactly as in the row pipeline -- so the merge interior is
+    pure memory work, free to run over sorted key vectors with ``groupby``
+    and ``bisect`` instead of per-row key construction.  A *pre-sorted*
+    (lazy) side keeps the chunked row production instead: a lazy merge
+    interleaves outer and inner page reads row by row, and may abandon the
+    outer sweep the moment the inner side is exhausted -- both behaviours a
+    vectorized read-ahead could not reproduce bit-identically.
     """
 
     name = "sort_merge_join"
@@ -1107,6 +1156,100 @@ class SortMergeJoin(JoinOperator):
             return iter(rows)
 
         yield from self._merge(outer_rows, inner_in_key_order, context)
+
+    def _stream_batches(
+        self,
+        context: ExecutionContext,
+        batch_size: int,
+        demand: int | None,
+        run_reads: bool,
+    ) -> Iterator[RowBatch]:
+        # Vectorized only when both inputs get materialised and sorted in
+        # memory: the I/O then happens in two full upfront drains with
+        # nothing interleaved, so batching the reads and running the merge
+        # columnar changes no simulated number.  A lazy pre-sorted side, a
+        # finite demand or a context budget all keep the chunked row
+        # pipeline (see the class docstring).
+        if (
+            self.inner_sorted
+            or self.outer_sorted
+            or not self._vectorizable(context, demand)
+        ):
+            yield from PlanNode._stream_batches(
+                self, context, batch_size, demand, run_reads
+            )
+            return
+        from bisect import bisect_left, bisect_right
+        from itertools import groupby
+
+        outer_rows: list[Mapping[str, Any]] = []
+        for batch in iter_batches_of(
+            self.source, context.child(), batch_size, None, run_reads
+        ):
+            outer_rows.extend(batch)
+        if not outer_rows:
+            return  # nothing to merge: the inner is never read
+        outer_columns = [outer for outer, _inner in self.join_on]
+        inner_columns = [inner for _outer, inner in self.join_on]
+        outer_keys, outer_rows = _sorted_with_keys(outer_rows, outer_columns)
+        _charge_cpu(self.inner_path, _sort_cpu_tuples(len(outer_rows)))
+
+        inner_context = context.child()
+        inner_context.report_rewritten_sql = False
+        inner_rows: list[Mapping[str, Any]] = []
+        for batch in iter_batches_of(
+            self.inner_path, inner_context, batch_size, None, run_reads
+        ):
+            inner_rows.extend(batch)
+        inner_keys, inner_rows = _sorted_with_keys(inner_rows, inner_columns)
+        _charge_cpu(self.inner_path, _sort_cpu_tuples(len(inner_rows)))
+
+        # The merge interior, columnar: outer groups come from groupby over
+        # the sorted key vector, the matching inner run from two bisects.
+        # ``parked`` is the index of the inner row the row-at-a-time merge
+        # would have fetched and parked; the charged fetch count below
+        # reproduces its per-advance counting exactly (each fetched row
+        # counts once; discovering exhaustion counts nothing).
+        counters = context.counters
+        n_inner = len(inner_rows)
+        parked = 0
+        outer_consumed = 0
+        position = 0
+        out = RowBatch()
+        try:
+            for key, group in groupby(outer_keys):
+                size = sum(1 for _ in group)
+                outer_group = outer_rows[position : position + size]
+                position += size
+                counters.join_probes += size
+                outer_consumed += size
+                parked = bisect_left(inner_keys, key, parked)
+                if parked >= n_inner:
+                    # Inner exhausted mid-skip: this group is counted (as in
+                    # the row merge) and the remaining outer groups are not.
+                    if out:
+                        yield _emit_batch(context, out)
+                    return
+                if inner_keys[parked] != key:
+                    continue
+                end = bisect_right(inner_keys, key, parked)
+                inner_group = inner_rows[parked:end]
+                parked = end
+                out.extend(
+                    [
+                        {**outer_row, **matched}
+                        for outer_row in outer_group
+                        for matched in inner_group
+                    ]
+                )
+                if len(out) >= batch_size:
+                    yield _emit_batch(context, out)
+                    out = RowBatch()
+            if out:
+                yield _emit_batch(context, out)
+        finally:
+            inner_fetched = min(parked + 1, n_inner)
+            _charge_cpu(self.inner_path, outer_consumed + inner_fetched)
 
     def _merge(
         self,

@@ -36,6 +36,7 @@ the planner's estimates next to the node's actual counters -- the
 from __future__ import annotations
 
 import heapq
+from operator import itemgetter
 from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from repro.core.cost import sort_comparison_count, top_k_comparison_count
@@ -43,6 +44,7 @@ from repro.engine.executor import (
     ExecutionContext,
     PlanNode,
     RowBatch,
+    ScanNode,
     _emit_batch,
     iter_batches_of,
 )
@@ -100,6 +102,55 @@ def sort_key_function(
         return tuple(SortKey(row[column], ascending) for column, ascending in ordering)
 
     return key_of
+
+
+def columnar_sort(
+    rows: list[dict[str, Any]], ordering: Sequence[tuple[str, bool]]
+) -> None:
+    """Sort ``rows`` in place by ``ordering``, one C-driven pass per column.
+
+    The decorate-sort-undecorate replacement for the per-row
+    ``tuple(SortKey(...))`` key of :func:`sort_key_function`: exploiting sort
+    stability, one stable pass per ordering column from the least to the
+    most significant reproduces the lexicographic multi-column order.  A
+    NULL-free column sorts on raw values (``itemgetter`` key,
+    ``reverse=not ascending`` -- Python's reverse sort keeps equal elements
+    in order, preserving stability); a column containing NULLs falls back to
+    wrapping that pass's values in :class:`SortKey`, the only place its
+    NULL-ordering comparator is still needed.
+    """
+    for column, ascending in reversed(tuple(ordering)):
+        if None in [row[column] for row in rows]:
+            rows.sort(key=_null_aware_pass_key(column, ascending))
+        else:
+            rows.sort(key=itemgetter(column), reverse=not ascending)
+
+
+def _null_aware_pass_key(
+    column: str, ascending: bool
+) -> Callable[[Mapping[str, Any]], SortKey]:
+    return lambda row: SortKey(row[column], ascending)
+
+
+def _encode_sort_column(values: list[Any], ascending: bool) -> list[Any]:
+    """A directly comparable sort-key vector for one ORDER BY column.
+
+    Raw values for a NULL-free ascending column; negated values for a
+    NULL-free descending column over a negatable type; :class:`SortKey`
+    wrapping otherwise.  Each encoding orders *and* equates values exactly
+    as ``SortKey(value, ascending)`` does, so separately encoded batches
+    rank rows identically -- as long as any one comparison only ever sees
+    keys from the same encoding call (guaranteed by encoding each top-k
+    merge's candidate set afresh).
+    """
+    if None not in values:
+        if ascending:
+            return values
+        try:
+            return [-value for value in values]
+        except TypeError:
+            pass
+    return [SortKey(value, ascending) for value in values]
 
 
 class _MaxHeapEntry:
@@ -218,7 +269,7 @@ class SortNode(DecoratorNode):
             rows.extend(batch)
         self.rows_in = len(rows)
         self._charge_cpu(sort_comparison_count(len(rows)))
-        rows.sort(key=sort_key_function(self.ordering))
+        columnar_sort(rows, self.ordering)
         for chunk in self._chunks(rows, batch_size):
             yield _emit_batch(context, chunk)
 
@@ -296,22 +347,37 @@ class TopKNode(DecoratorNode):
             return
         if self.k == 0:
             return
-        key_of = sort_key_function(self.ordering)
-        heap: list[tuple[_MaxHeapEntry, dict[str, Any]]] = []
+        # Columnar top-k: instead of feeding the k-heap row by row, merge
+        # each batch with the current top-k candidates through one C-driven
+        # sort over decorated (*encoded_keys, seq, row) tuples.  The unique
+        # seq breaks key ties by arrival order -- first-seen wins, exactly
+        # the heap's tie rule -- and guarantees the row dicts themselves are
+        # never compared.  Key columns are re-encoded per merge
+        # (:func:`_encode_sort_column`), so mixed encodings never meet in
+        # one comparison.  The same rows survive as with the heap: both
+        # keep the k smallest (key, seq) pairs seen so far.
+        ordering = self.ordering
         k = self.k
+        top_rows: list[dict[str, Any]] = []
+        top_seqs: list[int] = []
         seq = 0
         for batch in self._source_batches(context, batch_size, None, run_reads):
-            for row in batch:
-                entry_key = (key_of(row), seq)
-                seq += 1
-                if len(heap) < k:
-                    heapq.heappush(heap, (_MaxHeapEntry(entry_key), row))
-                elif entry_key < heap[0][0].key:
-                    heapq.heapreplace(heap, (_MaxHeapEntry(entry_key), row))
+            candidate_rows = top_rows + batch
+            candidate_seqs = top_seqs + list(range(seq, seq + len(batch)))
+            seq += len(batch)
+            key_columns = [
+                _encode_sort_column(
+                    [row[column] for row in candidate_rows], ascending
+                )
+                for column, ascending in ordering
+            ]
+            decorated = sorted(zip(*key_columns, candidate_seqs, candidate_rows))
+            del decorated[k:]
+            top_seqs = [entry[-2] for entry in decorated]
+            top_rows = [entry[-1] for entry in decorated]
         self.rows_in = seq
         self._charge_cpu(top_k_comparison_count(seq, self.k))
-        ordered = [entry[1] for entry in sorted(heap, key=lambda item: item[0].key)]
-        for chunk in self._chunks(ordered, batch_size):
+        for chunk in self._chunks(top_rows, batch_size):
             yield _emit_batch(context, chunk)
 
     def describe_detail(self) -> str:
@@ -437,39 +503,30 @@ class GroupByNode(DecoratorNode):
                 self, context, batch_size, demand, run_reads
             )
             return
-        groups: dict[Any, Any] = {}
-        get = groups.get
-        make = self.aggregate.make_accumulator
+        # Columnar hash aggregation: extract the whole batch's group keys
+        # with one itemgetter pass, then fold them through per-kind batch
+        # kernels (:class:`~repro.engine.query.GroupedAccumulators`) instead
+        # of dispatching per row into per-group accumulators.
         columns = self.group_columns
         single = columns[0] if len(columns) == 1 else None
+        key_of = itemgetter(*columns)
+        grouped = self.aggregate.make_grouped()
+        add_batch = grouped.add_batch
         rows_in = 0
         for batch in self._source_batches(context, batch_size, None, run_reads):
             rows_in += len(batch)
-            if single is not None:
-                for row in batch:
-                    key = row[single]
-                    accumulator = get(key)
-                    if accumulator is None:
-                        accumulator = groups[key] = make()
-                    accumulator.add(row)
-            else:
-                for row in batch:
-                    key = tuple(row[column] for column in columns)
-                    accumulator = get(key)
-                    if accumulator is None:
-                        accumulator = groups[key] = make()
-                    accumulator.add(row)
+            add_batch(list(map(key_of, batch)), batch)
         self.rows_in = rows_in
-        self.groups_out = len(groups)
+        self.groups_out = len(grouped)
         self._charge_cpu(rows_in)
         output_name = self.aggregate.output_name
         out = RowBatch()
-        for key, accumulator in groups.items():
+        for key, value in grouped.results():
             if single is not None:
                 merged = {single: key}
             else:
                 merged = dict(zip(columns, key))
-            merged[output_name] = accumulator.result()
+            merged[output_name] = value
             out.append(merged)
             if len(out) >= batch_size:
                 yield _emit_batch(context, out)
@@ -573,6 +630,23 @@ class ProjectNode(DecoratorNode):
             )
             return
         columns = self.columns
+        source = self.source
+        if demand is None and isinstance(source, ScanNode):
+            # Scan→filter→project fusion: drive the scan's access path with
+            # the projection folded into its compiled per-page kernel, so no
+            # intermediate full-width batch is ever materialised.  The scan
+            # work lands on the scan node's counters (adopted child
+            # context), and its rows_out is bumped here, per batch -- a
+            # projection preserves the row count, so the totals equal the
+            # unfused pipeline's.
+            fused = getattr(source.path, "project_batches", None)
+            if fused is not None:
+                scan_actual = source.actual
+                scan_context = source.adopt(context.child())
+                for batch in fused(scan_context, batch_size, run_reads, columns):
+                    scan_actual.rows_out += len(batch)
+                    yield _emit_batch(context, batch)
+                return
         for batch in self._source_batches(context, batch_size, demand, run_reads):
             yield _emit_batch(
                 context,

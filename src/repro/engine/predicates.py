@@ -33,6 +33,20 @@ class Predicate:
         """
         return self.matches
 
+    def condition_source(self, index: int) -> tuple[str, dict[str, Any]]:
+        """A Python expression testing this predicate on ``row``, plus its
+        environment.
+
+        The fragments of every predicate in a :class:`PredicateSet` are
+        ``and``-joined into one compiled batch comprehension (see
+        :meth:`PredicateSet.batch_kernel`), so the per-row cost drops from
+        one closure call per predicate to inline comparisons.  ``index``
+        uniquifies the environment names of this predicate's constants.  The
+        default falls back to calling the :meth:`selector` closure.
+        """
+        name = f"_predicate{index}"
+        return f"{name}(row)", {name: self.selector()}
+
     def constraint(self) -> ValueConstraint:
         raise NotImplementedError
 
@@ -55,6 +69,12 @@ class Equals(Predicate):
     def selector(self) -> Callable[[Mapping[str, Any]], bool]:
         attribute, value = self.attribute, self.value
         return lambda row: row[attribute] == value
+
+    def condition_source(self, index: int) -> tuple[str, dict[str, Any]]:
+        return (
+            f"row[_attr{index}] == _value{index}",
+            {f"_attr{index}": self.attribute, f"_value{index}": self.value},
+        )
 
     def constraint(self) -> ValueConstraint:
         return ValueConstraint.equals(self.value)
@@ -86,6 +106,13 @@ class InSet(Predicate):
         # set could not hash.
         attribute, values = self.attribute, self.values
         return lambda row: row[attribute] in values
+
+    def condition_source(self, index: int) -> tuple[str, dict[str, Any]]:
+        # Tuple containment, matching selector()/matches().
+        return (
+            f"row[_attr{index}] in _values{index}",
+            {f"_attr{index}": self.attribute, f"_values{index}": self.values},
+        )
 
     def constraint(self) -> ValueConstraint:
         return ValueConstraint.in_set(self.values)
@@ -128,6 +155,24 @@ class Between(Predicate):
             return lambda row: not row[attribute] < low
         return lambda row: not (row[attribute] < low or row[attribute] > high)
 
+    def condition_source(self, index: int) -> tuple[str, dict[str, Any]]:
+        # Negated-exclusion form, like selector(): a failed comparison
+        # (e.g. NaN) keeps the row, exactly as matches() does.
+        attr = f"_attr{index}"
+        env: dict[str, Any] = {attr: self.attribute}
+        if self.low is None:
+            env[f"_high{index}"] = self.high
+            return f"not row[{attr}] > _high{index}", env
+        if self.high is None:
+            env[f"_low{index}"] = self.low
+            return f"not row[{attr}] < _low{index}", env
+        env[f"_low{index}"] = self.low
+        env[f"_high{index}"] = self.high
+        return (
+            f"not (row[{attr}] < _low{index} or row[{attr}] > _high{index})",
+            env,
+        )
+
     def constraint(self) -> ValueConstraint:
         return ValueConstraint.between(self.low, self.high)
 
@@ -165,8 +210,9 @@ class PredicateSet:
 
     def __init__(self, predicates: Iterable[Predicate] = ()) -> None:
         self.predicates: tuple[Predicate, ...] = tuple(predicates)
-        #: Lazily built selector closures for :meth:`batch_filter`.
-        self._selectors: list[Callable[[Mapping[str, Any]], bool]] | None = None
+        #: Compiled batch kernels keyed by projection tuple (None = no
+        #: projection), built lazily by :meth:`batch_kernel`.
+        self._kernels: dict[tuple[str, ...] | None, Callable[[list], list]] = {}
 
     def __iter__(self):
         return iter(self.predicates)
@@ -183,19 +229,51 @@ class PredicateSet:
     def batch_filter(self, rows: list) -> list:
         """The rows surviving every predicate (batch twin of :meth:`matches`).
 
-        One comprehension per predicate over the shrinking batch: the same
-        conjunction, evaluated predicate-major instead of row-major, with
-        each predicate's :meth:`Predicate.selector` closure built once and
-        cached for the lifetime of this set.
+        One compiled comprehension over the batch (see :meth:`batch_kernel`):
+        the same conjunction as :meth:`matches`, short-circuited row-major
+        left to right, with the comparisons inlined rather than dispatched
+        through per-predicate closures.  An empty set returns ``rows``
+        unchanged.
         """
-        selectors = self._selectors
-        if selectors is None:
-            selectors = self._selectors = [
-                predicate.selector() for predicate in self.predicates
-            ]
-        for select in selectors:
-            rows = [row for row in rows if select(row)]
-        return rows
+        if not self.predicates:
+            return rows
+        return self.batch_kernel()(rows)
+
+    def batch_kernel(
+        self, project: Sequence[str] | None = None
+    ) -> Callable[[list], list]:
+        """A compiled single-pass batch kernel: filter, optionally project.
+
+        The kernel is one ``eval``-built list comprehension whose condition
+        ``and``-joins every predicate's :meth:`Predicate.condition_source`
+        fragment and whose element is either the row itself or, with
+        ``project``, a fresh dict of just those columns — so a fused
+        scan→filter→project pipeline runs as one C-driven pass per page with
+        no intermediate batch materialisation.  Constants are bound through
+        the compilation namespace; only generated identifiers appear in the
+        source text.  Kernels are cached per projection tuple for the
+        lifetime of this set.
+        """
+        key = tuple(project) if project is not None else None
+        kernel = self._kernels.get(key)
+        if kernel is None:
+            env: dict[str, Any] = {}
+            conditions: list[str] = []
+            for index, predicate in enumerate(self.predicates):
+                fragment, bindings = predicate.condition_source(index)
+                conditions.append(f"({fragment})")
+                env.update(bindings)
+            if key is None:
+                element = "row"
+            else:
+                env["_columns"] = key
+                element = "{column: row[column] for column in _columns}"
+            condition = " and ".join(conditions)
+            suffix = f" if {condition}" if condition else ""
+            source = f"lambda rows: [{element} for row in rows{suffix}]"
+            kernel = eval(compile(source, "<batch-kernel>", "eval"), env)
+            self._kernels[key] = kernel
+        return kernel
 
     @property
     def attributes(self) -> tuple[str, ...]:

@@ -24,7 +24,9 @@ this to compare access methods against each other).
 
 from __future__ import annotations
 
+from collections import Counter, defaultdict
 from dataclasses import dataclass, field, replace
+from operator import itemgetter
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.engine.predicates import Predicate, PredicateSet
@@ -79,7 +81,7 @@ class AggregateAccumulator:
         if callable(expression):
             values = map(expression, rows)
         else:
-            values = (row[expression] for row in rows)
+            values = map(itemgetter(expression), rows)
         if self._distinct is not None:
             self._distinct.update(values)
         else:
@@ -100,6 +102,82 @@ class AggregateAccumulator:
         if kind == "avg":
             return self._sum / self._count if self._count else None
         raise AssertionError("unreachable")
+
+
+class GroupedAccumulators:
+    """Columnar hash-aggregation state: one running value per group key.
+
+    The batched twin of a ``dict`` of per-group
+    :class:`AggregateAccumulator` objects, with the per-row dispatch hoisted
+    into per-kind batch kernels: ``count`` folds a whole batch through one
+    ``Counter``; ``sum``/``avg`` add each value into its group's running
+    total in stream order (value-at-a-time, so floating-point results stay
+    bit-identical to per-row accumulation); ``count_distinct`` grows
+    per-group value sets.  Group output order is first-seen input order --
+    every kernel inserts keys into its dict in stream order, matching the
+    per-accumulator dict of the row-at-a-time path.
+    """
+
+    __slots__ = ("_aggregate", "_kind", "_counts", "_sums", "_distinct")
+
+    def __init__(self, aggregate: "Aggregate") -> None:
+        self._aggregate = aggregate
+        self._kind = aggregate.kind
+        self._counts: dict[Any, int] = {}
+        self._sums: dict[Any, Any] = {}
+        self._distinct: defaultdict[Any, set[Any]] = defaultdict(set)
+
+    def __len__(self) -> int:
+        if self._kind == "count":
+            return len(self._counts)
+        if self._kind == "count_distinct":
+            return len(self._distinct)
+        return len(self._sums)
+
+    def add_batch(
+        self, keys: Sequence[Any], rows: Sequence[Mapping[str, Any]]
+    ) -> None:
+        """Fold one batch of ``(group key, row)`` pairs into the state."""
+        kind = self._kind
+        if kind == "count":
+            counts = self._counts
+            get = counts.get
+            # Counter iterates keys in first-occurrence order, so new groups
+            # enter ``counts`` exactly when their first row arrives.
+            for key, count in Counter(keys).items():
+                counts[key] = get(key, 0) + count
+            return
+        expression = self._aggregate.expression
+        if callable(expression):
+            values = map(expression, rows)
+        else:
+            values = map(itemgetter(expression), rows)
+        if kind == "count_distinct":
+            distinct = self._distinct
+            for key, value in zip(keys, values):
+                distinct[key].add(value)
+            return
+        sums = self._sums
+        get = sums.get
+        for key, value in zip(keys, values):
+            sums[key] = get(key, 0) + value
+        if kind == "avg":
+            counts = self._counts
+            cget = counts.get
+            for key, count in Counter(keys).items():
+                counts[key] = cget(key, 0) + count
+
+    def results(self) -> Sequence[tuple[Any, Any]]:
+        """``(group key, aggregate value)`` pairs in first-seen key order."""
+        kind = self._kind
+        if kind == "count":
+            return list(self._counts.items())
+        if kind == "count_distinct":
+            return [(key, len(values)) for key, values in self._distinct.items()]
+        if kind == "sum":
+            return list(self._sums.items())
+        counts = self._counts
+        return [(key, total / counts[key]) for key, total in self._sums.items()]
 
 
 @dataclass(frozen=True)
@@ -143,6 +221,10 @@ class Aggregate:
     def make_accumulator(self) -> AggregateAccumulator:
         """Fresh running state for one streaming computation of this aggregate."""
         return AggregateAccumulator(self)
+
+    def make_grouped(self) -> GroupedAccumulators:
+        """Fresh columnar per-group state for one hash aggregation."""
+        return GroupedAccumulators(self)
 
     def compute(self, rows: Sequence[Mapping[str, Any]]) -> Any:
         """Evaluate the aggregate over already-materialised rows.

@@ -32,6 +32,8 @@ def test_scenarios_cover_the_advertised_shapes(tiny_results):
         "unindexed_join",
         "top_k",
         "group_by",
+        "order_by_full",
+        "sort_merge_join",
     }
 
 
@@ -100,3 +102,71 @@ def test_cli_script_smoke(tmp_path):
     report = json.loads(output.read_text())
     assert report["schema"] == REPORT_SCHEMA
     assert "full_scan_aggregate" in report["scenarios"]
+
+
+def _run_cli(args, tmp_path):
+    repo_root = Path(__file__).resolve().parent.parent
+    output = tmp_path / "fresh.json"
+    return subprocess.run(
+        [
+            sys.executable,
+            str(repo_root / "scripts" / "bench_wallclock.py"),
+            "--scale",
+            "0.05",
+            "--repeats",
+            "1",
+            "--scenario",
+            "full_scan_aggregate",
+            "--output",
+            str(output),
+            *args,
+        ],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_cli_floor_check_passes_against_a_low_committed_floor(tmp_path):
+    committed = tmp_path / "committed.json"
+    committed.write_text(json.dumps({"summary": {"min_speedup": 0.01}}))
+    completed = _run_cli(["--check-floor", str(committed)], tmp_path)
+    assert completed.returncode == 0, completed.stderr
+    assert "floor check ok" in completed.stdout
+
+
+def test_cli_floor_check_fails_on_regression(tmp_path):
+    """An absurdly high committed floor must make the CLI exit non-zero."""
+    committed = tmp_path / "committed.json"
+    committed.write_text(json.dumps({"summary": {"min_speedup": 1e9}}))
+    completed = _run_cli(["--check-floor", str(committed)], tmp_path)
+    assert completed.returncode == 1
+    assert "regressed below" in completed.stderr
+
+
+def test_cli_floor_check_reads_floor_before_overwriting(tmp_path):
+    """--check-floor FILE with --output FILE: the floor is the *old* file's."""
+    shared = tmp_path / "BENCH_exec.json"
+    shared.write_text(json.dumps({"summary": {"min_speedup": 1e9}}))
+    repo_root = Path(__file__).resolve().parent.parent
+    completed = subprocess.run(
+        [
+            sys.executable,
+            str(repo_root / "scripts" / "bench_wallclock.py"),
+            "--scale",
+            "0.05",
+            "--repeats",
+            "1",
+            "--scenario",
+            "full_scan_aggregate",
+            "--output",
+            str(shared),
+            "--check-floor",
+            str(shared),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 1, "floor must come from the pre-run file"
+    assert "regressed below" in completed.stderr
