@@ -1,0 +1,21 @@
+"""Repo-root pytest configuration.
+
+``--fuzz-iterations N`` widens the differential fuzzer's seeded query corpus
+(``tests/engine/test_fuzz_parity.py``) beyond the small tier-1 default; CI
+smoke runs the default, nightly/soak runs pass a few hundred.
+"""
+
+FUZZ_ITERATIONS_DEFAULT = 24
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--fuzz-iterations",
+        type=int,
+        default=FUZZ_ITERATIONS_DEFAULT,
+        metavar="N",
+        help=(
+            "seeded query corpus size for the differential batch-parity "
+            f"fuzzer (default: {FUZZ_ITERATIONS_DEFAULT})"
+        ),
+    )

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Run the concurrent-serving benchmark and write BENCH_concurrent.json.
+
+Measures the cooperative :class:`~repro.engine.scheduler.QueryScheduler`
+serving interleaved readers over one shared buffer pool against serial
+execution of the same queries, plus the mixed reader/writer scenario under
+snapshot isolation (see :mod:`repro.bench.concurrent`).  All throughput and
+latency numbers are in *simulated* time, so the report is host-independent.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_concurrent.py [--smoke] [--check]
+        [--readers N] [--rows N] [--pool-pages N]
+        [--output BENCH_concurrent.json]
+
+``--check`` enforces the acceptance criteria (>= 2x aggregate throughput for
+the interleaved readers at equal logical page reads, and snapshot-stable
+reader counts in the mixed scenario) and exits non-zero on violation --
+the CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.bench.concurrent import (  # noqa: E402 (path bootstrap above)
+    ConcurrentConfig,
+    check_report,
+    format_report,
+    run_benchmarks,
+    write_report,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small table, same pool/table ratio (the CI configuration)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail unless the acceptance criteria hold",
+    )
+    parser.add_argument("--readers", type=int, default=None, help="concurrent readers")
+    parser.add_argument("--rows", type=int, default=None, help="rows in the items table")
+    parser.add_argument(
+        "--pool-pages", type=int, default=None, help="buffer pool capacity in pages"
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_concurrent.json",
+        help="report path (default: ./BENCH_concurrent.json)",
+    )
+    args = parser.parse_args(argv)
+
+    config = ConcurrentConfig.smoke() if args.smoke else ConcurrentConfig()
+    overrides = {}
+    if args.readers is not None:
+        overrides["readers"] = args.readers
+    if args.rows is not None:
+        overrides["rows"] = args.rows
+    if args.pool_pages is not None:
+        overrides["buffer_pool_pages"] = args.pool_pages
+    if overrides:
+        from dataclasses import replace
+
+        config = replace(config, **overrides)
+
+    report = run_benchmarks(config)
+    print(format_report(report))
+    write_report(report, args.output)
+    print(f"\nwrote {args.output}")
+    if args.check:
+        failures = check_report(report)
+        if failures:
+            for failure in failures:
+                print(f"ERROR: {failure}", file=sys.stderr)
+            return 1
+        print("acceptance checks ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,355 @@
+"""Concurrent-serving benchmark: interleaved readers over one buffer pool.
+
+The cooperative :class:`~repro.engine.scheduler.QueryScheduler` advances
+many queries one batch quantum at a time over the *shared* buffer pool.
+When several scan-shaped readers sweep the same table, interleaving keeps
+them adjacent in scan position, so one query's physical page read serves
+the others from cache -- whereas running the same queries serially against
+a pool smaller than the table re-reads every page per query (LRU evicts the
+head of the table just before the next query wants it).  The table here is
+deliberately built ~4x larger than the pool to expose exactly that effect.
+
+Two scenarios are measured, both in *simulated* time (the paper's disk
+model, host-independent):
+
+``readers``
+    Eight identical full-table ``COUNT(*)`` range scans, serial vs
+    scheduled.  Both modes do the same logical work (equal pages visited);
+    the report records aggregate throughput (queries per simulated second),
+    per-query p50/p95/p99 latency, and the physical reads that explain the
+    gap.  The acceptance check asserts >= 2x aggregate throughput.
+
+``mixed``
+    The :func:`~repro.datasets.workloads.concurrent_mixed_workload` mix:
+    readers admitted to the scheduler while snapshot-isolated writer
+    transactions commit between scheduling quanta.  Every reader must
+    report the row count of its *admission snapshot* -- concurrent commits
+    must not leak into a running scan -- which the harness verifies before
+    reporting reader latencies and writer throughput.
+
+Results are persisted as ``BENCH_concurrent.json`` (CI uploads the file and
+runs ``scripts/bench_concurrent.py --smoke --check``).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import random
+import sys
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, Sequence
+
+from repro.datasets.workloads import concurrent_mixed_workload
+from repro.engine.database import Database
+from repro.engine.predicates import Between
+from repro.engine.query import Aggregate, Query
+from repro.engine.scheduler import QueryScheduler
+
+#: Schema tag written into BENCH_concurrent.json (bump on layout changes).
+REPORT_SCHEMA = "repro-bench-concurrent/v1"
+
+#: The acceptance floor: scheduled readers must beat serial execution by
+#: at least this aggregate-throughput factor (at equal logical page reads).
+THROUGHPUT_FLOOR = 2.0
+
+
+@dataclass(frozen=True)
+class ConcurrentConfig:
+    """Knobs of one concurrent-benchmark run."""
+
+    #: Rows in the items table; at ``tups_per_page=50`` the default builds
+    #: a 1200-page heap against a 300-page pool (the 4x thrash ratio).
+    rows: int = 60_000
+    tups_per_page: int = 50
+    buffer_pool_pages: int = 300
+    batch_size: int = 256
+    readers: int = 8
+    writer_batches: int = 4
+    rows_per_writer_batch: int = 100
+    seed: int = 7
+
+    @classmethod
+    def smoke(cls) -> "ConcurrentConfig":
+        """A fast configuration for CI smoke runs (same pool/table ratio)."""
+        return cls(rows=12_000, buffer_pool_pages=60, writer_batches=2)
+
+
+@dataclass
+class ReadersResult:
+    """The serial-vs-scheduled comparison of the identical-readers scenario."""
+
+    queries: int
+    pages_visited_serial: int
+    pages_visited_concurrent: int
+    physical_reads_serial: int
+    physical_reads_concurrent: int
+    serial_ms: float
+    concurrent_ms: float
+    serial_qps: float
+    concurrent_qps: float
+    throughput_ratio: float
+    serial_latency_ms: dict[str, float]
+    concurrent_latency_ms: dict[str, float]
+    wall_seconds: float
+
+
+@dataclass
+class MixedResult:
+    """The reader/writer scenario: isolation verified, then the numbers."""
+
+    readers: int
+    writer_batches: int
+    rows_written: int
+    snapshot_counts_ok: bool
+    reader_latency_ms: dict[str, float]
+    writer_ms: float
+    writer_rows_per_s: float
+    total_ms: float
+    wall_seconds: float
+
+
+def percentiles(values: Sequence[float], points: Sequence[int] = (50, 95, 99)) -> dict[str, float]:
+    """Nearest-rank percentiles of ``values`` keyed as ``"p50"`` etc."""
+    if not values:
+        return {f"p{point}": 0.0 for point in points}
+    ordered = sorted(values)
+    out = {}
+    for point in points:
+        rank = max(0, -(-point * len(ordered) // 100) - 1)
+        out[f"p{point}"] = round(ordered[rank], 3)
+    return out
+
+
+def build_database(config: ConcurrentConfig) -> Database:
+    """The benchmark table: a heap ~4x the buffer pool, clustered on catid."""
+    rng = random.Random(config.seed)
+    rows = []
+    for item_id in range(config.rows):
+        price = rng.uniform(0, 100_000)
+        rows.append({"itemid": item_id, "catid": int(price // 500), "price": price})
+    db = Database(
+        buffer_pool_pages=config.buffer_pool_pages, batch_size=config.batch_size
+    )
+    db.create_table("items", sample_row=rows[0], tups_per_page=config.tups_per_page)
+    db.load("items", rows)
+    db.cluster("items", "catid", pages_per_bucket=10)
+    return db
+
+
+#: Columns the benchmark readers materialise (bounds the held row memory).
+READER_PROJECTION = ("itemid",)
+
+
+def _reader_query(name: str) -> Query:
+    # A streaming range scan, NOT an aggregate: a scalar aggregate is a
+    # blocking operator that drains its whole input inside one batch pull,
+    # which would leave the scheduler nothing to interleave.
+    return Query.select("items", Between("price", 0, 100_000), name=name)
+
+
+def run_readers_scenario(config: ConcurrentConfig) -> ReadersResult:
+    """Serial vs scheduled execution of N identical full-scan readers."""
+    db = build_database(config)
+    queries = [_reader_query(f"serial_{i}") for i in range(config.readers)]
+    started = time.perf_counter()
+
+    # Serial: one cold start, then queries back to back -- the pool is
+    # smaller than the table, so each query still re-reads every page.
+    db.reset_measurements()
+    db.drop_caches()
+    serial_results = []
+    serial_latencies = []
+    for query in queries:
+        result = db.run_query(query, force="seq_scan", projection=READER_PROJECTION)
+        serial_results.append(result)
+        serial_latencies.append(result.elapsed_ms)
+    serial_ms = db.elapsed_ms()
+    serial_pages = sum(result.pages_visited for result in serial_results)
+    serial_physical = sum(result.io.pages_read for result in serial_results)
+
+    # Scheduled: identical queries and cold start; the scheduler interleaves
+    # them batch by batch so they share the pool instead of fighting it.
+    db.reset_measurements()
+    db.drop_caches()
+    scheduler = QueryScheduler(db, max_concurrent=config.readers, policy="fair")
+    for i in range(config.readers):
+        scheduler.submit(
+            _reader_query(f"reader_{i}"),
+            force="seq_scan",
+            projection=READER_PROJECTION,
+        )
+    scheduled = scheduler.run()
+    concurrent_ms = db.elapsed_ms()
+    concurrent_pages = sum(entry.result.pages_visited for entry in scheduled)
+    concurrent_physical = sum(entry.result.io.pages_read for entry in scheduled)
+    concurrent_latencies = [entry.latency_ms for entry in scheduled]
+
+    expected = serial_results[0].rows_matched
+    for entry in scheduled:
+        if entry.result.rows_matched != expected:
+            raise AssertionError(
+                f"scheduled reader {entry.label} matched "
+                f"{entry.result.rows_matched} rows, serial execution matched "
+                f"{expected}"
+            )
+
+    serial_qps = config.readers / (serial_ms / 1000.0)
+    concurrent_qps = config.readers / (concurrent_ms / 1000.0)
+    return ReadersResult(
+        queries=config.readers,
+        pages_visited_serial=serial_pages,
+        pages_visited_concurrent=concurrent_pages,
+        physical_reads_serial=serial_physical,
+        physical_reads_concurrent=concurrent_physical,
+        serial_ms=round(serial_ms, 3),
+        concurrent_ms=round(concurrent_ms, 3),
+        serial_qps=round(serial_qps, 3),
+        concurrent_qps=round(concurrent_qps, 3),
+        throughput_ratio=round(concurrent_qps / serial_qps, 3),
+        serial_latency_ms=percentiles(serial_latencies),
+        concurrent_latency_ms=percentiles(concurrent_latencies),
+        wall_seconds=round(time.perf_counter() - started, 3),
+    )
+
+
+def run_mixed_scenario(config: ConcurrentConfig) -> MixedResult:
+    """Readers under pinned snapshots while writer transactions commit."""
+    db = build_database(config)
+    steps = concurrent_mixed_workload(
+        [dict(row) for row in db.table("items").all_rows()],
+        num_readers=config.readers,
+        num_writer_batches=config.writer_batches,
+        rows_per_writer_batch=config.rows_per_writer_batch,
+        seed=config.seed,
+    )
+    started = time.perf_counter()
+    db.reset_measurements()
+    db.drop_caches()
+    scheduler = QueryScheduler(db, max_concurrent=config.readers, policy="fair")
+    expected_counts: dict[str, int] = {}
+    entries = []
+    rows_written = 0
+    writer_ms = 0.0
+    live_rows = config.rows
+    for kind, payload in steps:
+        if kind == "read":
+            entry = scheduler.submit(
+                payload,
+                label=payload.name,
+                force="seq_scan",
+                projection=READER_PROJECTION,
+            )
+            # The count this reader must report: the live rows at admission.
+            expected_counts[entry.label] = live_rows
+            entries.append(entry)
+            # Let the scheduler make progress between submissions so writers
+            # land mid-scan for the already-running readers.
+            for _ in range(4):
+                scheduler.step()
+        else:
+            before = db.elapsed_ms()
+            transaction = db.begin_transaction()
+            db.tx_insert(transaction, "items", payload)
+            transaction.commit()
+            writer_ms += db.elapsed_ms() - before
+            rows_written += len(payload)
+            live_rows += len(payload)
+    scheduler.run()
+    total_ms = db.elapsed_ms()
+
+    counts_ok = all(
+        entry.result.rows_matched == expected_counts[entry.label]
+        for entry in entries
+    )
+    reader_latencies = [entry.latency_ms for entry in entries]
+    return MixedResult(
+        readers=config.readers,
+        writer_batches=config.writer_batches,
+        rows_written=rows_written,
+        snapshot_counts_ok=counts_ok,
+        reader_latency_ms=percentiles(reader_latencies),
+        writer_ms=round(writer_ms, 3),
+        writer_rows_per_s=round(rows_written / (writer_ms / 1000.0), 1)
+        if writer_ms > 0
+        else float("inf"),
+        total_ms=round(total_ms, 3),
+        wall_seconds=round(time.perf_counter() - started, 3),
+    )
+
+
+def run_benchmarks(config: ConcurrentConfig | None = None) -> dict[str, Any]:
+    """Run both scenarios and return the BENCH_concurrent.json payload."""
+    config = config or ConcurrentConfig()
+    readers = run_readers_scenario(config)
+    mixed = run_mixed_scenario(config)
+    return {
+        "schema": REPORT_SCHEMA,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "config": asdict(config),
+        "readers": asdict(readers),
+        "mixed": asdict(mixed),
+        "summary": {
+            "throughput_ratio": readers.throughput_ratio,
+            "equal_logical_pages": readers.pages_visited_serial
+            == readers.pages_visited_concurrent,
+            "snapshot_counts_ok": mixed.snapshot_counts_ok,
+        },
+    }
+
+
+def check_report(report: dict[str, Any]) -> list[str]:
+    """The acceptance assertions; returns a list of failures (empty = pass)."""
+    failures = []
+    summary = report["summary"]
+    if not summary["equal_logical_pages"]:
+        failures.append(
+            "serial and scheduled readers visited different logical page counts: "
+            f"{report['readers']['pages_visited_serial']} vs "
+            f"{report['readers']['pages_visited_concurrent']}"
+        )
+    if summary["throughput_ratio"] < THROUGHPUT_FLOOR:
+        failures.append(
+            f"aggregate throughput ratio {summary['throughput_ratio']}x is below "
+            f"the {THROUGHPUT_FLOOR}x floor"
+        )
+    if not summary["snapshot_counts_ok"]:
+        failures.append(
+            "a reader in the mixed scenario saw a count from outside its snapshot"
+        )
+    return failures
+
+
+def write_report(report: dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def format_report(report: dict[str, Any]) -> str:
+    """A terminal-friendly summary of one finished run."""
+    readers = report["readers"]
+    mixed = report["mixed"]
+    lines = [
+        f"readers: {readers['queries']} full scans over "
+        f"{report['config']['rows']} rows "
+        f"(pool {report['config']['buffer_pool_pages']} pages)",
+        f"  serial:     {readers['serial_ms']:>10.1f} sim ms  "
+        f"{readers['serial_qps']:>8.2f} q/s  "
+        f"physical reads {readers['physical_reads_serial']}",
+        f"  scheduled:  {readers['concurrent_ms']:>10.1f} sim ms  "
+        f"{readers['concurrent_qps']:>8.2f} q/s  "
+        f"physical reads {readers['physical_reads_concurrent']}",
+        f"  throughput ratio: {readers['throughput_ratio']}x "
+        f"(floor {THROUGHPUT_FLOOR}x), latencies p50/p95/p99: "
+        f"serial {readers['serial_latency_ms']} vs "
+        f"scheduled {readers['concurrent_latency_ms']}",
+        f"mixed: {mixed['readers']} readers + {mixed['writer_batches']} writer "
+        f"batches ({mixed['rows_written']} rows)",
+        f"  snapshot counts ok: {mixed['snapshot_counts_ok']}, reader latency "
+        f"{mixed['reader_latency_ms']}, writers {mixed['writer_rows_per_s']} rows/s",
+    ]
+    return "\n".join(lines)

@@ -5,13 +5,21 @@ heap files, clustered and secondary B+Tree indexes, executes sequential,
 pipelined, sorted (bitmap) and correlation-map scans, maintains all access
 structures under inserts/deletes with write-ahead logging, and chooses access
 paths with the correlation-aware cost model.
+
+Beyond the single-query prototype it also serves queries *concurrently*: a
+cooperative :class:`~repro.engine.scheduler.QueryScheduler` interleaves many
+queries batch-by-batch over the shared buffer pool, and MVCC snapshots
+(:mod:`repro.engine.transactions`) give each reader a consistent view while
+transactions write new row versions.
 """
 
 from repro.engine.schema import TableSchema
 from repro.engine.predicates import Between, Equals, InSet, PredicateSet
 from repro.engine.query import Aggregate, JoinSpec, Query, QueryResult
 from repro.engine.database import Database
+from repro.engine.scheduler import QueryScheduler, ScheduledQuery
 from repro.engine.table import Table
+from repro.engine.transactions import SerializationError, Snapshot, Transaction
 
 __all__ = [
     "TableSchema",
@@ -24,5 +32,10 @@ __all__ = [
     "Query",
     "QueryResult",
     "Database",
+    "QueryScheduler",
+    "ScheduledQuery",
+    "SerializationError",
+    "Snapshot",
     "Table",
+    "Transaction",
 ]

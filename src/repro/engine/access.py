@@ -204,6 +204,24 @@ class AccessPath:
 
     # -- the shared scan kernel -------------------------------------------------
 
+    def _visibility(self, context: ExecutionContext):
+        """The MVCC row filter for this sweep, or ``None`` when not needed.
+
+        ``None`` -- the pre-MVCC fast path -- whenever the context carries no
+        snapshot, so existing workloads pay nothing (``Database.run_query``
+        only attaches a snapshot once a table holds versioned rows; the
+        scheduler always attaches one, because versions may first appear
+        *mid-scan* under concurrent writers, and unversioned rows pass the
+        filter trivially).  Both kernels apply the filter *after* charging
+        the row as examined and *before* the predicates: an invisible
+        version costs exactly what a non-matching row costs, in both
+        protocols, keeping the row/batch parity contract intact under MVCC.
+        """
+        snapshot = context.snapshot
+        if snapshot is None:
+            return None
+        return snapshot.visible
+
     def _sweep_pages(
         self, pages: Iterable[int], context: ExecutionContext
     ) -> Iterator[dict[str, Any]]:
@@ -215,6 +233,7 @@ class AccessPath:
         is spent, so remaining pages are never read.
         """
         heap = self.table.heap
+        visible = self._visibility(context)
         for page_no in pages:
             if context.limit_reached:
                 return
@@ -225,6 +244,8 @@ class AccessPath:
                 for _slot, row in page.live_rows():
                     examined += 1
                     context.counters.rows_examined += 1
+                    if visible is not None and not visible(row):
+                        continue
                     if self.predicates.matches(row):
                         yield context.emit(row)
                         if context.limit_reached:
@@ -267,6 +288,7 @@ class AccessPath:
         """
         heap = self.table.heap
         counters = context.counters
+        visible = self._visibility(context)
         if self.predicates or project is not None:
             kernel = self.predicates.batch_kernel(project)
         else:
@@ -287,6 +309,8 @@ class AccessPath:
                     counters.pages_visited += 1
                     live = [row for row in page.slots if row is not None]
                     examined += len(live)
+                    if visible is not None:
+                        live = [row for row in live if visible(row)]
                     if kernel is None:
                         batch.extend(live)
                     else:
@@ -408,6 +432,7 @@ class PipelinedIndexScan(AccessPath):
     def _stream(self, context: ExecutionContext) -> Iterator[dict[str, Any]]:
         rids, lookups = _probe_index(self.index, self.predicates)
         context.counters.lookups += lookups
+        visible = self._visibility(context)
         visited_pages: set[int] = set()
         for rid in rids:
             if context.limit_reached:
@@ -420,6 +445,8 @@ class PipelinedIndexScan(AccessPath):
                 continue
             context.counters.rows_examined += 1
             self._charge_cpu(1)
+            if visible is not None and not visible(row):
+                continue
             if self.predicates.matches(row):
                 yield context.emit(row)
 
@@ -448,6 +475,7 @@ class PipelinedIndexScan(AccessPath):
         counters = context.counters
         heap = self.table.heap
         matches = self.predicates.matches
+        visible = self._visibility(context)
         visited_pages: set[int] = set()
         batch = RowBatch()
         examined = 0
@@ -460,7 +488,7 @@ class PipelinedIndexScan(AccessPath):
                 if row is None:
                     continue
                 examined += 1
-                if matches(row):
+                if (visible is None or visible(row)) and matches(row):
                     batch.append(row)
                 if len(batch) >= batch_size:
                     counters.rows_examined += examined

@@ -30,7 +30,14 @@ from repro.engine.predicates import Predicate, PredicateSet
 from repro.engine.query import Query, QueryResult
 from repro.engine.schema import TableSchema
 from repro.engine.table import BUCKET_COLUMN, Table
-from repro.engine.transactions import TransactionManager
+from repro.engine.transactions import (
+    XMAX_COLUMN,
+    XMIN_COLUMN,
+    SerializationError,
+    Snapshot,
+    Transaction,
+    TransactionManager,
+)
 from repro.index.secondary import SecondaryIndex
 from repro.core.correlation_map import CorrelationMap
 from repro.storage.buffer_pool import BufferPool
@@ -177,6 +184,8 @@ class Database:
         cold_cache: bool = False,
         limit: int | None = None,
         projection: Sequence[str] | None = None,
+        snapshot: Snapshot | None = None,
+        transaction: Transaction | None = None,
     ) -> QueryResult:
         """Plan and execute a query, returning rows/value plus I/O statistics.
 
@@ -189,6 +198,13 @@ class Database:
         ``limit``/``projection`` override the query's own values; a satisfied
         LIMIT stops the plan's Limit node from pulling, which abandons every
         upstream generator so the remaining heap pages are never read.
+
+        ``snapshot`` pins the MVCC visibility state the scan kernels filter
+        against; ``transaction`` reads under that transaction's own snapshot
+        (seeing its uncommitted writes).  With neither, a query over tables
+        holding versioned rows runs under a fresh latest-committed snapshot
+        -- and over unversioned tables the filter is skipped entirely, so
+        pre-MVCC behaviour (and cost) is unchanged.
 
         Plan *selection* is LIMIT-aware: fully streaming candidates are
         costed for producing ``min(limit, estimated_result_rows)`` rows, so
@@ -204,7 +220,9 @@ class Database:
         if cold_cache:
             self.drop_caches()
         before = self.disk.snapshot()
-        context = ExecutionContext()
+        context = ExecutionContext(
+            snapshot=self._effective_snapshot(snapshot, transaction, query)
+        )
         rows = self._drain(plan, context)
         io = self.disk.window_since(before)
         return self._build_result(query, plan, rows, context, io)
@@ -255,6 +273,29 @@ class Database:
             limit=limit,
             projection=projection,
         )
+
+    def _effective_snapshot(
+        self,
+        snapshot: Snapshot | None,
+        transaction: Transaction | None,
+        query: Query,
+    ) -> Snapshot | None:
+        """The snapshot one execution filters visibility against.
+
+        An explicit snapshot wins; a transaction reads under its own pinned
+        snapshot; otherwise queries over versioned tables get a fresh
+        latest-committed snapshot and fully unversioned queries get ``None``
+        (no filtering -- the pre-MVCC fast path).
+        """
+        if snapshot is not None and transaction is not None:
+            raise ValueError("pass either snapshot or transaction, not both")
+        if snapshot is not None:
+            return snapshot
+        if transaction is not None:
+            return transaction.snapshot
+        if any(self.table(name).mvcc_versioned for name in query.tables):
+            return self.transactions.snapshot()
+        return None
 
     def _build_result(
         self, query: Query, plan, rows: list[dict[str, Any]], context, io
@@ -308,6 +349,8 @@ class Database:
         force_join: str | None = None,
         limit: int | None = None,
         projection: Sequence[str] | None = None,
+        snapshot: Snapshot | None = None,
+        transaction: Transaction | None = None,
     ) -> Iterator[dict[str, Any]]:
         """Plan a query and yield matching rows as they are produced.
 
@@ -324,7 +367,11 @@ class Database:
         plan = self._prepare(
             query, force=force, force_join=force_join, limit=limit, projection=projection
         )
-        return plan.iter_rows(ExecutionContext())
+        return plan.iter_rows(
+            ExecutionContext(
+                snapshot=self._effective_snapshot(snapshot, transaction, query)
+            )
+        )
 
     def stream_batches(
         self,
@@ -335,6 +382,8 @@ class Database:
         limit: int | None = None,
         projection: Sequence[str] | None = None,
         batch_size: int | None = None,
+        snapshot: Snapshot | None = None,
+        transaction: Transaction | None = None,
     ) -> Iterator[RowBatch]:
         """Like :meth:`stream`, but yield :class:`RowBatch` objects.
 
@@ -355,9 +404,12 @@ class Database:
             query, force=force, force_join=force_join, limit=limit, projection=projection
         )
         fresh = plan.produces_fresh_rows
+        context = ExecutionContext(
+            snapshot=self._effective_snapshot(snapshot, transaction, query)
+        )
 
         def batches() -> Iterator[RowBatch]:
-            for batch in plan.iter_batches(ExecutionContext(), size):
+            for batch in plan.iter_batches(context, size):
                 yield batch if fresh else RowBatch(map(dict, batch))
 
         return batches()
@@ -614,6 +666,164 @@ class Database:
             pages_written=io.pages_written,
             log_flushes=io.log_flushes,
         )
+
+    # -- snapshot-isolated transactions ------------------------------------------------------
+
+    def begin_transaction(self) -> Transaction:
+        """Open a transaction with a pinned snapshot (snapshot isolation).
+
+        All reads through ``run_query(..., transaction=tx)`` see the state
+        as of this call plus the transaction's own writes; writes go through
+        :meth:`tx_insert` / :meth:`tx_update` / :meth:`tx_delete` and become
+        visible to others only after ``tx.commit()`` (2PC through the WAL).
+        ``tx.abort()`` discards them without undo: aborted versions simply
+        never become visible.
+        """
+        return self.transactions.begin()
+
+    def tx_insert(
+        self, transaction: Transaction, table: str, rows: Iterable[Mapping[str, Any]]
+    ) -> list[RID]:
+        """Insert row versions stamped with the transaction's xid."""
+        target = self.table(table)
+        rids = []
+        for row in rows:
+            rid = target.insert_version(row, transaction.xid)
+            transaction.log(
+                "insert_version", {"table": table, "rid": (rid.page_no, rid.slot)}
+            )
+            for cm in target.correlation_maps.values():
+                transaction.log("cm_update", {"cm": cm.name}, size_bytes=32)
+            rids.append(rid)
+        return rids
+
+    def tx_delete(
+        self,
+        transaction: Transaction,
+        table: str,
+        predicates: PredicateSet | Sequence[Predicate],
+    ) -> int:
+        """MVCC delete: stamp matching visible versions with a deleting xid.
+
+        Targets are found under the transaction's snapshot; a version whose
+        current deleter is a live or committed concurrent transaction raises
+        :class:`~repro.engine.transactions.SerializationError` before
+        anything is stamped (first-updater-wins, so lost updates surface as
+        errors instead of silently vanishing).
+        """
+        target = self.table(table)
+        if not isinstance(predicates, PredicateSet):
+            predicates = PredicateSet(predicates)
+        snapshot = transaction.snapshot
+        victims: list[tuple[RID, dict[str, Any]]] = []
+        for rid, row in target.heap.scan():
+            if snapshot.visible(row) and predicates.matches(row):
+                self._check_write_conflict(row, transaction, table)
+                victims.append((rid, row))
+        for rid, _row in victims:
+            target.mark_deleted(rid, transaction.xid)
+            transaction.log(
+                "delete_version", {"table": table, "rid": (rid.page_no, rid.slot)}
+            )
+            for cm in target.correlation_maps.values():
+                transaction.log("cm_update", {"cm": cm.name}, size_bytes=32)
+        return len(victims)
+
+    def tx_update(
+        self,
+        transaction: Transaction,
+        table: str,
+        predicates: PredicateSet | Sequence[Predicate],
+        updates: Mapping[str, Any],
+    ) -> int:
+        """MVCC update: delete-stamp the old version, insert the new one.
+
+        Both versions coexist in the heap; which one a reader sees depends
+        entirely on its snapshot.  Conflict detection is the same
+        first-updater-wins check as :meth:`tx_delete`, applied to every
+        target before any is written, so a conflicting update changes
+        nothing.
+        """
+        target = self.table(table)
+        if not isinstance(predicates, PredicateSet):
+            predicates = PredicateSet(predicates)
+        snapshot = transaction.snapshot
+        victims: list[tuple[RID, dict[str, Any]]] = []
+        for rid, row in target.heap.scan():
+            if snapshot.visible(row) and predicates.matches(row):
+                self._check_write_conflict(row, transaction, table)
+                victims.append((rid, row))
+        hidden = (XMIN_COLUMN, XMAX_COLUMN, BUCKET_COLUMN)
+        for rid, row in victims:
+            fresh = {
+                column: value for column, value in row.items() if column not in hidden
+            }
+            fresh.update(updates)
+            target.mark_deleted(rid, transaction.xid)
+            new_rid = target.insert_version(fresh, transaction.xid)
+            transaction.log(
+                "update_version",
+                {
+                    "table": table,
+                    "old": (rid.page_no, rid.slot),
+                    "new": (new_rid.page_no, new_rid.slot),
+                },
+            )
+            for cm in target.correlation_maps.values():
+                transaction.log("cm_update", {"cm": cm.name}, size_bytes=32)
+        return len(victims)
+
+    def _check_write_conflict(
+        self, row: Mapping[str, Any], transaction: Transaction, table: str
+    ) -> None:
+        xmax = row.get(XMAX_COLUMN)
+        if xmax is not None and self.transactions.is_conflicting(
+            xmax, against=transaction.xid
+        ):
+            raise SerializationError(
+                f"write-write conflict on {table!r}: the version is already "
+                f"deleted by concurrent transaction {xmax}"
+            )
+
+    # -- concurrent serving ------------------------------------------------------------------
+
+    def run_concurrent(
+        self,
+        queries: Sequence[Query],
+        *,
+        max_concurrent: int = 8,
+        policy: str = "fair",
+        batch_size: int | None = None,
+        page_budget: int | None = None,
+        cpu_ms_budget: float | None = None,
+    ) -> list[QueryResult]:
+        """Serve ``queries`` concurrently through one cooperative scheduler.
+
+        Every query is admitted (up to ``max_concurrent`` at once), pins its
+        snapshot at admission and advances one scheduling quantum at a time
+        over the shared buffer pool; see
+        :class:`repro.engine.scheduler.QueryScheduler` for the scheduling
+        surface (budgets, priorities, per-query latencies).  Results come
+        back in submission order.  The first failed query's error is
+        re-raised.
+        """
+        from repro.engine.scheduler import QueryScheduler
+
+        scheduler = QueryScheduler(
+            self,
+            max_concurrent=max_concurrent,
+            policy=policy,
+            batch_size=batch_size,
+        )
+        for query in queries:
+            scheduler.submit(
+                query, page_budget=page_budget, cpu_ms_budget=cpu_ms_budget
+            )
+        scheduled = scheduler.run()
+        for entry in scheduled:
+            if entry.error is not None:
+                raise entry.error
+        return [entry.result for entry in scheduled]
 
     # -- cache and measurement control -------------------------------------------------------
 

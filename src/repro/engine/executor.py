@@ -82,6 +82,7 @@ from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping, Protocol, Se
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.cost import CostSplit
     from repro.engine.access import AccessResult
+    from repro.engine.transactions import Snapshot
 
 #: Default number of rows per :class:`RowBatch` pulled through the batched
 #: executor (the ``Database(batch_size=...)`` default).  Scans align batches
@@ -182,6 +183,11 @@ class ExecutionContext:
     #: State shared by every context of one execution (a child or adopted
     #: context sees the same object), e.g. the CM scan's rewritten SQL.
     shared: SharedQueryState = field(default_factory=SharedQueryState)
+    #: MVCC snapshot the scan kernels filter row versions against (``None``
+    #: = no visibility filtering; the pre-MVCC fast path).  Pinned once per
+    #: query and inherited by every child/adopted context so all scans of
+    #: one execution -- including join inner probes -- see the same state.
+    snapshot: "Snapshot | None" = None
 
     def __post_init__(self) -> None:
         if self.limit is not None and self.limit < 0:
@@ -209,7 +215,10 @@ class ExecutionContext:
         rows to merge), and its emissions do not count as output rows.
         """
         return ExecutionContext(
-            counters=self.counters, count_output=False, shared=self.shared
+            counters=self.counters,
+            count_output=False,
+            shared=self.shared,
+            snapshot=self.snapshot,
         )
 
     @property
@@ -489,6 +498,7 @@ class PlanNode:
             count_output=context.count_output,
             report_rewritten_sql=context.report_rewritten_sql,
             shared=context.shared,
+            snapshot=context.snapshot,
         )
 
     def execute(self, context: ExecutionContext | None = None) -> "AccessResult":

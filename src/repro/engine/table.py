@@ -23,6 +23,7 @@ from repro.core.correlation_map import CorrelationMap
 from repro.core.model import CorrelationProfile, TableProfile
 from repro.core.statistics import DEFAULT_STATS_SAMPLE_SIZE, IncrementalTableStatistics
 from repro.engine.schema import TableSchema
+from repro.engine.transactions import XMAX_COLUMN, XMIN_COLUMN
 from repro.index.clustered import ClusteredIndex
 from repro.index.secondary import SecondaryIndex
 from repro.storage.buffer_pool import BufferPool
@@ -71,6 +72,11 @@ class Table:
         self.statistics = IncrementalTableStatistics(
             sample_capacity=stats_sample_size, refresh_ops=stats_refresh_ops
         )
+
+        #: True once any row carries MVCC version columns; while False the
+        #: scan kernels skip visibility filtering entirely (the pre-MVCC
+        #: fast path costs existing workloads nothing).
+        self.mvcc_versioned = False
 
     # -- basic properties --------------------------------------------------------
 
@@ -344,6 +350,41 @@ class Table:
             cm.delete(row)
         self.statistics.observe_delete(row)
         self._maybe_refresh_statistics()
+        return row
+
+    # -- MVCC version writes ---------------------------------------------------------------------
+
+    def insert_version(self, row: Mapping[str, Any], xid: int, *, charge_io: bool = True) -> RID:
+        """Insert a new row *version* stamped with its creating transaction.
+
+        The row gains a hidden ``_xmin`` column and flows through
+        :meth:`insert_row`, so secondary indexes, CMs and statistics all see
+        it immediately -- index probes may surface versions invisible to a
+        given snapshot, and the scan kernels' visibility filter drops them,
+        exactly as residual predicates drop CM false positives.
+        """
+        versioned = dict(row)
+        versioned[XMIN_COLUMN] = xid
+        self.mvcc_versioned = True
+        return self.insert_row(versioned, charge_io=charge_io)
+
+    def mark_deleted(self, rid: RID, xid: int, *, charge_io: bool = True) -> dict[str, Any] | None:
+        """MVCC delete: stamp the version at ``rid`` with a deleting xid.
+
+        Nothing is physically removed -- the version stays in the heap (and
+        in every index and CM) so concurrent snapshots that predate the
+        deleting transaction keep seeing it; readers past it filter it out.
+        The page is dirtied like any in-place write.  Statistics are *not*
+        adjusted here: the physical row count is unchanged until a future
+        vacuum reclaims dead versions.
+        """
+        row = self.heap.fetch(rid, charge_io=False)
+        if row is None:
+            return None
+        if charge_io:
+            self.buffer_pool.access(self.heap.name, rid.page_no, dirty=True)
+        row[XMAX_COLUMN] = xid
+        self.mvcc_versioned = True
         return row
 
     def _maybe_refresh_statistics(self) -> None:

@@ -96,6 +96,23 @@ class IOBreakdown:
             cpu_tuples=self.cpu_tuples - other.cpu_tuples,
         )
 
+    def add(self, other: "IOBreakdown") -> "IOBreakdown":
+        """Return the sum ``self + other`` (used to accumulate windows).
+
+        The scheduler attributes each quantum's I/O window to the query that
+        ran it; summing the windows rebuilds that query's total breakdown
+        even though its execution was interleaved with other queries'.
+        """
+        return IOBreakdown(
+            sequential_reads=self.sequential_reads + other.sequential_reads,
+            random_reads=self.random_reads + other.random_reads,
+            sequential_writes=self.sequential_writes + other.sequential_writes,
+            random_writes=self.random_writes + other.random_writes,
+            log_flushes=self.log_flushes + other.log_flushes,
+            log_pages_written=self.log_pages_written + other.log_pages_written,
+            cpu_tuples=self.cpu_tuples + other.cpu_tuples,
+        )
+
     def copy(self) -> "IOBreakdown":
         return IOBreakdown(
             sequential_reads=self.sequential_reads,

@@ -90,6 +90,19 @@ class WriteAheadLog:
         self.append("commit_prepared", payload)
         self.flush()
 
+    def records_for_xid(self, xid: int) -> list[LogRecord]:
+        """Every record tagged with transaction ``xid``, in LSN order.
+
+        Transactional writers tag each record's payload with its xid (see
+        :meth:`repro.engine.transactions.Transaction.log`): MVCC writes log
+        ``insert_version`` / ``delete_version`` / ``update_version``,
+        correlation-map maintenance logs ``cm_update``, and termination logs
+        ``prepare`` + ``commit_prepared`` (2PC), ``commit`` (single-phase)
+        or ``abort``.  Recovery-style inspection and the isolation tests use
+        this to audit what one transaction durably claimed to have done.
+        """
+        return [record for record in self.records if record.payload.get("xid") == xid]
+
     def truncate(self) -> None:
         """Discard all records (checkpoint complete)."""
         self.records.clear()

@@ -1,0 +1,227 @@
+"""Differential fuzzer: batched execution must be bit-identical to row-at-a-time.
+
+Each seed derives one random query -- conjunctive predicates, an optional
+equi-join, one of three output shapes (plain rows with projection / ORDER BY /
+LIMIT, a scalar aggregate, or a grouped aggregate) -- and executes it under
+row-at-a-time mode (``batch_size=None``) and several batch sizes between 1
+and 4096.  Every mode must produce identical rows (same order), the same
+aggregate value, and *bit-identical* simulated counters: rows examined,
+pages visited, join probes, the full I/O breakdown and the simulated elapsed
+time.  This is the engine's central parity contract (see
+``benchmarks/test_batch_parity.py`` for the curated Figure 1 scenarios); the
+fuzzer guards the long tail of shape combinations no curated test enumerates.
+
+The tier-1 corpus is small (see ``--fuzz-iterations`` in the root
+``conftest.py``); soak runs widen it::
+
+    PYTHONPATH=src python -m pytest tests/engine/test_fuzz_parity.py --fuzz-iterations 500
+"""
+
+import random
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.predicates import Between, Equals, InSet
+from repro.engine.query import Aggregate, Query
+
+#: Batch sizes the fuzzer samples from -- degenerate (1-row batches), odd
+#: (never page-aligned), the default-ish, and larger-than-the-table.
+BATCH_SIZES = (1, 2, 3, 7, 32, 64, 256, 1024, 4096)
+
+NUM_CATEGORIES = 80
+NUM_ROWS = 2400
+
+
+def build_fuzz_rows():
+    rng = random.Random(1234)
+    rows = []
+    for i in range(NUM_ROWS):
+        price = rng.uniform(0, 10_000)
+        catid = int(price // (10_000 / NUM_CATEGORIES))
+        rows.append(
+            {
+                "itemid": i,
+                "catid": catid,
+                "cat2": f"group{catid // 10}",
+                "price": price,
+                "qty": rng.randrange(0, 20),
+            }
+        )
+    return rows
+
+
+@pytest.fixture(scope="module")
+def fuzz_database():
+    """items (clustered, price index) plus a cats dimension table for joins."""
+    rows = build_fuzz_rows()
+    db = Database(buffer_pool_pages=400)
+    db.create_table("items", sample_row=rows[0], tups_per_page=40)
+    db.load("items", rows)
+    db.cluster("items", "catid", pages_per_bucket=4)
+    db.create_secondary_index("items", "price")
+    cat_rows = [
+        {"catid": c, "label": f"cat{c}", "region": f"r{c % 5}"}
+        for c in range(NUM_CATEGORIES)
+    ]
+    db.create_table("cats", sample_row=cat_rows[0], tups_per_page=40)
+    db.load("cats", cat_rows)
+    return db
+
+
+# ---------------------------------------------------------------------------
+# Seeded query generation
+# ---------------------------------------------------------------------------
+
+def _random_predicates(rng):
+    predicates = []
+    for _ in range(rng.randrange(0, 3)):
+        kind = rng.randrange(5)
+        if kind == 0:
+            predicates.append(Equals("catid", rng.randrange(NUM_CATEGORIES)))
+        elif kind == 1:
+            low = rng.uniform(0, 9_000)
+            predicates.append(Between("price", low, low + rng.uniform(100, 4_000)))
+        elif kind == 2:
+            values = rng.sample(range(NUM_CATEGORIES), rng.randrange(1, 6))
+            predicates.append(InSet("catid", sorted(values)))
+        elif kind == 3:
+            low = rng.randrange(0, 15)
+            predicates.append(Between("qty", low, low + rng.randrange(1, 6)))
+        else:
+            predicates.append(Equals("cat2", f"group{rng.randrange(8)}"))
+    return predicates
+
+
+def _random_aggregate(rng):
+    return rng.choice(
+        [
+            Aggregate.count(),
+            Aggregate.sum("price"),
+            Aggregate.avg("price"),
+            Aggregate.count_distinct("catid"),
+        ]
+    )
+
+
+def generate_query(seed):
+    """One random query (and an optional forced access method) per seed."""
+    rng = random.Random(seed)
+    predicates = _random_predicates(rng)
+    joined = rng.random() < 0.35
+    shape = rng.choice(["plain", "plain", "scalar", "grouped"])
+
+    kwargs = {}
+    if shape == "scalar":
+        kwargs["aggregate"] = _random_aggregate(rng)
+    elif shape == "grouped":
+        group = rng.choice([("catid",), ("cat2",), ("catid", "cat2")])
+        kwargs["aggregate"] = rng.choice(
+            [Aggregate.count(), Aggregate.avg("price"), Aggregate.sum("qty")]
+        )
+        kwargs["group_by"] = group
+        if rng.random() < 0.5:
+            kwargs["order_by"] = [rng.choice([col, f"-{col}"]) for col in group]
+        if rng.random() < 0.4:
+            kwargs["limit"] = rng.choice([0, 1, 3, 10])
+        if rng.random() < 0.3:
+            kwargs["projection"] = group  # drop the aggregate column
+    else:
+        columns = ["itemid", "catid", "cat2", "price", "qty"]
+        if joined:
+            columns += ["label", "region"]
+        if rng.random() < 0.4:
+            kwargs["projection"] = rng.sample(columns, rng.randrange(1, 4))
+        if rng.random() < 0.5:
+            order_columns = rng.sample(["price", "itemid", "catid", "qty"], 2)
+            kwargs["order_by"] = [
+                column if rng.random() < 0.5 else f"-{column}"
+                for column in order_columns
+            ]
+        if rng.random() < 0.4:
+            kwargs["limit"] = rng.choice([0, 1, 5, 37, 500])
+
+    query = Query.select("items", *predicates, name=f"fuzz_{seed}", **kwargs)
+    if joined:
+        local = [Equals("region", f"r{rng.randrange(5)}")] if rng.random() < 0.5 else []
+        query = query.join("cats", "catid", *local)
+
+    force = "seq_scan" if rng.random() < 0.25 else None
+    batch_sizes = rng.sample(BATCH_SIZES, 3)
+    return query, force, batch_sizes
+
+
+# ---------------------------------------------------------------------------
+# Differential execution
+# ---------------------------------------------------------------------------
+
+def run_mode(db, query, batch_size, force):
+    """Execute under one batching mode from an identical cold start."""
+    db.batch_size = batch_size
+    db.reset_measurements()
+    return db.run_query(query, force=force, cold_cache=True)
+
+
+def assert_bit_identical(reference, candidate, *, context):
+    """Rows AND every simulated counter must match exactly -- no tolerance."""
+    assert candidate.access_method == reference.access_method, context
+    assert candidate.rows == reference.rows, context
+    assert candidate.value == reference.value, context
+    assert candidate.rows_examined == reference.rows_examined, context
+    assert candidate.rows_matched == reference.rows_matched, context
+    assert candidate.rows_emitted == reference.rows_emitted, context
+    assert candidate.pages_visited == reference.pages_visited, context
+    assert candidate.join_probes == reference.join_probes, context
+    assert candidate.io == reference.io, context  # incl. sequential/random split
+    assert candidate.elapsed_ms == reference.elapsed_ms, context
+    assert candidate.rewritten_sql == reference.rewritten_sql, context
+
+
+def pytest_generate_tests(metafunc):
+    if "fuzz_seed" in metafunc.fixturenames:
+        iterations = metafunc.config.getoption("--fuzz-iterations")
+        metafunc.parametrize("fuzz_seed", range(iterations))
+
+
+def test_fuzz_batch_parity(fuzz_database, fuzz_seed):
+    db = fuzz_database
+    query, force, batch_sizes = generate_query(fuzz_seed)
+    original = db.batch_size
+    try:
+        reference = run_mode(db, query, None, force)
+        for batch_size in batch_sizes:
+            candidate = run_mode(db, query, batch_size, force)
+            assert_bit_identical(
+                reference,
+                candidate,
+                context=(
+                    f"seed={fuzz_seed} batch_size={batch_size} "
+                    f"force={force} query={query.describe()}"
+                ),
+            )
+    finally:
+        db.batch_size = original
+
+
+def test_corpus_covers_every_shape():
+    """The default corpus must keep exercising joins, aggregates and sorts.
+
+    Guards the generator itself: a refactor that silently degenerates the
+    corpus (e.g. every seed producing a bare scan) would leave the parity
+    contract unguarded while the suite stays green.
+    """
+    shapes = {"join": 0, "scalar": 0, "grouped": 0, "ordered": 0, "limited": 0}
+    for seed in range(24):
+        query, _force, _batch_sizes = generate_query(seed)
+        if query.joins:
+            shapes["join"] += 1
+        if query.aggregate is not None and not query.grouping:
+            shapes["scalar"] += 1
+        if query.grouping:
+            shapes["grouped"] += 1
+        if query.ordering:
+            shapes["ordered"] += 1
+        if query.limit is not None:
+            shapes["limited"] += 1
+    missing = [shape for shape, count in shapes.items() if count == 0]
+    assert not missing, f"default corpus never generates: {missing}"

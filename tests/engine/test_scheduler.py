@@ -1,0 +1,222 @@
+"""QueryScheduler tests: fairness, budgets, priorities and admission control.
+
+The scheduler's contract is cooperative round-robin at RowBatch granularity:
+a quantum is one batch pull (or budget-bounded pulls), yielding queries keep
+all execution state in their suspended generator pipeline, and everything is
+deterministic.  These tests drive :meth:`QueryScheduler.step` directly to
+observe individual quanta; end-to-end behaviour (throughput, interference)
+lives in ``repro.bench.concurrent``.
+"""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.predicates import Between, ExpressionPredicate
+from repro.engine.query import Query
+from repro.engine.scheduler import FINISHED, QueryScheduler
+
+
+NUM_ROWS = 2000
+
+
+@pytest.fixture
+def database():
+    db = Database(buffer_pool_pages=400)
+    db.create_table(
+        "items",
+        sample_row={"itemid": 0, "catid": 0, "price": 0.0},
+        tups_per_page=20,
+    )
+    db.load(
+        "items",
+        [
+            {"itemid": i, "catid": i % 50, "price": float(i)}
+            for i in range(NUM_ROWS)
+        ],
+    )
+    return db
+
+
+FULL_SCAN = Query.select("items", name="long_scan")
+POINT_LOOKUP = Query.select(
+    "items", Between("itemid", 5, 5), name="lookup", limit=1
+)
+
+
+def test_fair_policy_long_scan_cannot_starve_point_lookup(database):
+    """The lookup finishes after a handful of quanta, mid-way through the scan."""
+    scheduler = QueryScheduler(database, policy="fair", batch_size=32)
+    scan = scheduler.submit(FULL_SCAN, force="seq_scan")
+    lookup = scheduler.submit(POINT_LOOKUP, force="seq_scan")
+    steps = 0
+    while not lookup.finished:
+        assert scheduler.step() is not None
+        steps += 1
+        assert steps <= 10, "fair round-robin must reach the lookup immediately"
+    assert not scan.finished  # the long scan is still mid-flight
+    scheduler.run()
+    assert scan.state == FINISHED
+    assert scan.result.rows_matched == NUM_ROWS
+    assert lookup.result.rows_matched == 1
+
+
+def test_fair_policy_alternates_between_runnable_queries(database):
+    scheduler = QueryScheduler(database, policy="fair", batch_size=32)
+    scheduler.submit(FULL_SCAN, label="a", force="seq_scan")
+    scheduler.submit(Query.select("items", name="b"), label="b", force="seq_scan")
+    labels = [scheduler.step().label for _ in range(6)]
+    assert labels == ["a", "b", "a", "b", "a", "b"]
+
+
+def test_unbudgeted_quantum_is_exactly_one_batch(database):
+    scheduler = QueryScheduler(database, batch_size=32)
+    scheduler.submit(FULL_SCAN, force="seq_scan")
+    for _ in range(5):
+        report = scheduler.step()
+        assert report.batches == 1
+        # scans align batches to page boundaries: 32 rows round up to 2
+        # pages of 20 tuples
+        assert report.rows == 40
+
+
+def test_budget_exhausted_query_yields_and_resumes_with_counters_intact(database):
+    """A budgeted scan, preempted many times, reports exactly the serial run."""
+    database.reset_measurements()
+    database.drop_caches()
+    serial = database.run_query(FULL_SCAN, force="seq_scan")
+
+    database.reset_measurements()
+    database.drop_caches()
+    scheduler = QueryScheduler(database, batch_size=32)
+    entry = scheduler.submit(FULL_SCAN, force="seq_scan", page_budget=5)
+    reports = []
+    while not entry.finished:
+        reports.append(scheduler.step())
+    assert entry.quanta > 10  # genuinely preempted and resumed many times
+    assert all(report.batches >= 1 for report in reports[:-1])
+    result = entry.result
+    assert result.rows == serial.rows
+    assert result.rows_examined == serial.rows_examined
+    assert result.pages_visited == serial.pages_visited
+    assert result.io == serial.io
+    # Quantum page meters add up to the plan's total, so no work went
+    # unattributed across the yield/resume boundaries.
+    assert sum(report.pages for report in reports) == result.pages_visited
+
+
+def test_cpu_ms_budget_bounds_a_turn(database):
+    scheduler = QueryScheduler(database, batch_size=32)
+    entry = scheduler.submit(FULL_SCAN, force="seq_scan", cpu_ms_budget=0.5)
+    report = scheduler.step()
+    assert report.batches >= 1
+    assert not entry.finished or report.finished
+
+
+def test_priority_policy_runs_high_priority_to_completion_first(database):
+    scheduler = QueryScheduler(database, policy="priority", batch_size=32)
+    low = scheduler.submit(FULL_SCAN, label="low", priority=0, force="seq_scan")
+    high = scheduler.submit(
+        Query.select("items", name="high"), label="high", priority=5, force="seq_scan"
+    )
+    while not high.finished:
+        report = scheduler.step()
+        assert report.label == "high"  # low never runs while high is runnable
+    assert not low.finished
+    scheduler.run()
+    assert low.state == FINISHED
+
+
+def test_priority_ties_rotate_round_robin(database):
+    scheduler = QueryScheduler(database, policy="priority", batch_size=32)
+    scheduler.submit(FULL_SCAN, label="a", priority=1, force="seq_scan")
+    scheduler.submit(Query.select("items", name="b"), label="b", priority=1, force="seq_scan")
+    labels = [scheduler.step().label for _ in range(4)]
+    assert labels == ["a", "b", "a", "b"]
+
+
+def test_admission_control_caps_active_queries(database):
+    scheduler = QueryScheduler(database, max_concurrent=1, batch_size=32)
+    first = scheduler.submit(POINT_LOOKUP, label="first", force="seq_scan")
+    second = scheduler.submit(FULL_SCAN, label="second", force="seq_scan")
+    assert scheduler.active == 1
+    assert scheduler.pending == 1
+    assert second.admitted_ms is None  # not admitted, so no snapshot pinned yet
+    while not first.finished:
+        scheduler.step()
+    assert scheduler.active == 1  # the slot was handed straight to `second`
+    assert scheduler.pending == 0
+    assert second.admitted_ms is not None
+    assert second.queue_ms >= 0
+
+
+def test_waiting_queries_pin_snapshots_at_admission_not_submission(database):
+    """A commit that lands while a query waits for admission is visible to it."""
+    scheduler = QueryScheduler(database, max_concurrent=1, batch_size=32)
+    first = scheduler.submit(Query.select("items"), label="first", force="seq_scan")
+    second = scheduler.submit(Query.select("items"), label="second", force="seq_scan")
+    writer = database.begin_transaction()
+    database.tx_insert(
+        writer, "items", [{"itemid": 10_000, "catid": 0, "price": 0.0}]
+    )
+    writer.commit()
+    scheduler.run()
+    assert first.result.rows_matched == NUM_ROWS  # admitted before the commit
+    assert second.result.rows_matched == NUM_ROWS + 1  # admitted after
+
+
+def _armed_predicate():
+    """A predicate that passes planning (stats sampling) but fails execution."""
+    state = {"armed": False}
+
+    def function(row):
+        if state["armed"]:
+            raise RuntimeError("boom")
+        return True
+
+    return ExpressionPredicate("boom", function), state
+
+
+def test_failed_query_reports_its_error_and_frees_the_slot(database):
+    predicate, state = _armed_predicate()
+    boom = Query.select("items", predicate, name="boom")
+    scheduler = QueryScheduler(database, max_concurrent=1, batch_size=32)
+    failing = scheduler.submit(boom, force="seq_scan")
+    healthy = scheduler.submit(POINT_LOOKUP, force="seq_scan")
+    state["armed"] = True
+    scheduler.run()
+    assert failing.state == "failed"
+    assert isinstance(failing.error, RuntimeError)
+    assert healthy.state == FINISHED
+    assert healthy.result.rows_matched == 1
+
+
+def test_run_concurrent_returns_results_in_submission_order(database):
+    queries = [
+        Query.select("items", Between("catid", c, c), name=f"q{c}")
+        for c in range(6)
+    ]
+    results = database.run_concurrent(queries, max_concurrent=3)
+    assert [r.query.name for r in results] == [q.name for q in queries]
+    for c, result in enumerate(results):
+        assert result.rows_matched == NUM_ROWS // 50
+        assert all(row["catid"] == c for row in result.rows)
+
+
+def test_run_concurrent_reraises_a_query_failure(database):
+    predicate, state = _armed_predicate()
+    boom = Query.select("items", predicate)
+    state["armed"] = True
+    with pytest.raises(RuntimeError, match="boom"):
+        database.run_concurrent([Query.select("items"), boom])
+
+
+def test_scheduler_rejects_bad_arguments(database):
+    with pytest.raises(ValueError):
+        QueryScheduler(database, max_concurrent=0)
+    with pytest.raises(ValueError):
+        QueryScheduler(database, policy="unfair")
+    scheduler = QueryScheduler(database)
+    with pytest.raises(ValueError):
+        scheduler.submit(FULL_SCAN, page_budget=0)
+    with pytest.raises(ValueError):
+        scheduler.submit(FULL_SCAN, cpu_ms_budget=0)
