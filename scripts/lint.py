@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Run the repro lint suite over the engine sources.
+
+Usage::
+
+    python scripts/lint.py                  # lint src/repro, text report
+    python scripts/lint.py --check          # exit 1 on any violation (CI)
+    python scripts/lint.py --format json --output lint-report.json
+    python scripts/lint.py --list-rules
+    python scripts/lint.py --select REPRO105,determinism src/repro/storage
+
+Rules are selected by id (``REPRO105``) or name (``slots-on-hot-path``)
+interchangeably.  ``--check`` is the CI entry point: it always exits
+non-zero when violations remain after suppressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.lint import (  # noqa: E402
+    LintEngine,
+    all_rules,
+    render_json,
+    render_text,
+)
+from repro.lint.registry import resolve_rule_ids  # noqa: E402
+
+
+def _split_tokens(values: list[str]) -> list[str]:
+    tokens: list[str] = []
+    for value in values:
+        tokens.extend(token.strip() for token in value.split(",") if token.strip())
+    return tokens
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        type=Path,
+        default=None,
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if any violation remains (CI gate)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write the report to a file instead of stdout",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="RULES",
+        help="comma-separated rule ids/names to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="RULES",
+        help="comma-separated rule ids/names to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    args = parser.parse_args(argv)
+
+    rules = all_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id}  {rule.name:<22} {rule.description}")
+        return 0
+
+    try:
+        selected = resolve_rule_ids(_split_tokens(args.select))
+        ignored = resolve_rule_ids(_split_tokens(args.ignore))
+    except ValueError as error:
+        parser.error(str(error))
+    if selected:
+        rules = [rule for rule in rules if rule.rule_id in selected]
+    rules = [rule for rule in rules if rule.rule_id not in ignored]
+
+    targets = args.targets or [REPO_ROOT / "src" / "repro"]
+    engine = LintEngine(REPO_ROOT, rules=rules)
+    report = engine.run(targets)
+
+    rendered = (
+        render_json(report) if args.format == "json" else render_text(report) + "\n"
+    )
+    if args.output is not None:
+        args.output.write_text(rendered)
+        print(f"wrote {args.format} report to {args.output}")
+    else:
+        sys.stdout.write(rendered)
+
+    if args.check and not report.ok:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -44,7 +44,7 @@ from typing import Any, Sequence
 from repro.datasets.workloads import concurrent_mixed_workload
 from repro.engine.database import Database
 from repro.engine.predicates import Between
-from repro.engine.query import Aggregate, Query
+from repro.engine.query import Query
 from repro.engine.scheduler import QueryScheduler
 
 #: Schema tag written into BENCH_concurrent.json (bump on layout changes).

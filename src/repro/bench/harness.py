@@ -264,7 +264,7 @@ def build_sdss_database(
     pages_per_bucket: int | None = 10,
     seek_scale: float = SDSS_SEEK_SCALE,
     stats_sample_size: int | None = None,
-    **row_kwargs,
+    **row_kwargs: Any,
 ) -> tuple[Database, list[dict[str, Any]]]:
     """The PhotoObj-style table clustered on objID (the Experiment 5 setup)."""
     rows = build_sdss_rows(scale, **row_kwargs)

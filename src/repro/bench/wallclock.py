@@ -34,7 +34,7 @@ from repro.bench.harness import build_tpch_join_database
 from repro.engine.database import Database
 from repro.engine.executor import DEFAULT_BATCH_SIZE
 from repro.engine.predicates import Between
-from repro.engine.query import Aggregate, Query
+from repro.engine.query import Aggregate, Query, QueryResult
 
 #: Schema tag written into BENCH_exec.json (bump on layout changes).
 REPORT_SCHEMA = "repro-bench-exec/v1"
@@ -188,7 +188,7 @@ def run_scenario(scenario: _Scenario, config: BenchConfig) -> ScenarioResult:
     """
     db = scenario.database
 
-    def run(batched: bool):
+    def run(batched: bool) -> QueryResult:
         db.batch_size = config.batch_size if batched else None
         # Park the simulated disk head at a known position so the first
         # read of every run classifies identically, whatever ran before.

@@ -25,7 +25,7 @@ from repro.core.bucketing import (
     BucketingOption,
     candidate_bucketings,
 )
-from repro.core.composite import CompositeKeySpec, ValueConstraint
+from repro.core.composite import AttributeBucketing, CompositeKeySpec, ValueConstraint
 from repro.core.cost import CMCostInputs, cm_lookup_cost, scan_cost, sorted_lookup_cost
 from repro.core.model import CorrelationProfile, HardwareParameters, TableProfile
 from repro.core.statistics import StatisticsCollector
@@ -324,7 +324,7 @@ class CMAdvisor:
         return profile, float(size)
 
     @staticmethod
-    def _level_of(part) -> int:
+    def _level_of(part: AttributeBucketing) -> int:
         bucketer = part.bucketer
         level = getattr(bucketer, "level", None)
         if level is not None:

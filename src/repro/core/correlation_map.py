@@ -39,7 +39,7 @@ A CM is a plain in-memory structure that can also be used standalone::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.core.bucketing import Bucketer
 from repro.core.composite import (
@@ -107,7 +107,7 @@ class CorrelationMap:
         clustered_attribute: str,
         *,
         clustered_bucketer: Bucketer | None = None,
-        target_of=None,
+        target_of: Callable[[Mapping[str, Any]], Any] | None = None,
     ) -> None:
         self.name = name
         self.key_spec = key_spec

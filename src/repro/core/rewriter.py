@@ -20,7 +20,7 @@ render it as SQL text for documentation and debugging.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Mapping, Sequence
+from typing import Any, Mapping
 
 from repro.core.correlation_map import CorrelationMap
 from repro.core.composite import ValueConstraint

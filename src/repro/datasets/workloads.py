@@ -329,7 +329,10 @@ def sdss_q2_query(
     )
 
 
-def sdss_q2_training_query(ra_range=(193.117, 194.517), dec_range=(1.411, 1.555)) -> TrainingQuery:
+def sdss_q2_training_query(
+    ra_range: tuple[float, float] = (193.117, 194.517),
+    dec_range: tuple[float, float] = (1.411, 1.555),
+) -> TrainingQuery:
     """The Q2-variant predicate set as CM Advisor input (Experiment 5)."""
     return TrainingQuery(
         constraints={

@@ -46,7 +46,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import islice
-from typing import Any, Iterable, Iterator, Mapping, Sequence
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.core.correlation_map import CorrelationMap
 from repro.core.rewriter import QueryRewriter
@@ -59,7 +59,7 @@ from repro.engine.executor import (
     _truncated_batches,
     materialize,
 )
-from repro.engine.predicates import Between, Equals, InSet, Predicate, PredicateSet
+from repro.engine.predicates import Between, Equals, InSet, PredicateSet
 from repro.engine.table import BUCKET_COLUMN, Table
 from repro.index.bitmap import PageBitmap
 from repro.index.secondary import SecondaryIndex
@@ -204,7 +204,9 @@ class AccessPath:
 
     # -- the shared scan kernel -------------------------------------------------
 
-    def _visibility(self, context: ExecutionContext):
+    def _visibility(
+        self, context: ExecutionContext
+    ) -> Callable[[Mapping[str, Any]], bool] | None:
         """The MVCC row filter for this sweep, or ``None`` when not needed.
 
         ``None`` -- the pre-MVCC fast path -- whenever the context carries no

@@ -18,13 +18,18 @@ Typical use::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.core.bucketing import Bucketer
 from repro.core.model import HardwareParameters
 from repro.core.statistics import DEFAULT_STATS_SAMPLE_SIZE
-from repro.engine.executor import DEFAULT_BATCH_SIZE, ExecutionContext, RowBatch
+from repro.engine.executor import (
+    DEFAULT_BATCH_SIZE,
+    ExecutionContext,
+    PlanNode,
+    RowBatch,
+)
 from repro.engine.planner import Planner
 from repro.engine.predicates import Predicate, PredicateSet
 from repro.engine.query import Query, QueryResult
@@ -41,7 +46,7 @@ from repro.engine.transactions import (
 from repro.index.secondary import SecondaryIndex
 from repro.core.correlation_map import CorrelationMap
 from repro.storage.buffer_pool import BufferPool
-from repro.storage.disk import DiskModel, DiskParameters
+from repro.storage.disk import DiskModel, DiskParameters, IOBreakdown
 from repro.storage.page import RID
 from repro.storage.wal import WriteAheadLog
 
@@ -227,7 +232,7 @@ class Database:
         io = self.disk.window_since(before)
         return self._build_result(query, plan, rows, context, io)
 
-    def _drain(self, plan, context: ExecutionContext) -> list[dict[str, Any]]:
+    def _drain(self, plan: PlanNode, context: ExecutionContext) -> list[dict[str, Any]]:
         """Pull every output row of ``plan``, batched or row-at-a-time.
 
         The batched pull is the default executor; rows leaving a scan-rooted
@@ -255,7 +260,7 @@ class Database:
         force_join: str | None,
         limit: int | None,
         projection: Sequence[str] | None,
-    ):
+    ) -> PlanNode:
         """Shared run_query/stream preamble: coalesce overrides, validate, plan."""
         limit = query.limit if limit is None else limit
         projection = query.projection if projection is None else tuple(projection)
@@ -298,7 +303,12 @@ class Database:
         return None
 
     def _build_result(
-        self, query: Query, plan, rows: list[dict[str, Any]], context, io
+        self,
+        query: Query,
+        plan: PlanNode,
+        rows: list[dict[str, Any]],
+        context: ExecutionContext,
+        io: IOBreakdown,
     ) -> QueryResult:
         """Fold an executed plan tree into a :class:`QueryResult`."""
         from repro.engine.plan import AggregateNode, find_node, sort_stats
@@ -422,7 +432,7 @@ class Database:
         force_join: str | None = None,
         limit: int | None = None,
         projection: Sequence[str] | None = None,
-    ):
+    ) -> PlanNode:
         """Plan selection for one execution: a costed physical operator tree."""
         if query.joins:
             return self.planner.choose_join(

@@ -77,7 +77,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from operator import itemgetter
-from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping, Protocol, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    Mapping,
+    Protocol,
+    Sequence,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.cost import CostSplit
@@ -144,14 +153,14 @@ class ExecutionCounters:
     rows_out: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class SharedQueryState:
     """Per-execution state shared by every context of one plan tree."""
 
     rewritten_sql: str | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecutionContext:
     """Per-execution state threaded through a plan's row pipelines.
 
@@ -387,6 +396,15 @@ class PlanNode:
     #: caller must copy first (``ExecutionContext.emit`` handles it).
     produces_fresh_rows = True
 
+    __slots__ = (
+        "actual",
+        "est_rows",
+        "est_pages",
+        "cost_split",
+        "est_cost_ms",
+        "structure",
+    )
+
     def __init__(self) -> None:
         #: Runtime counters of *this node's own* work, filled by execution.
         self.actual = ExecutionCounters()
@@ -572,6 +590,8 @@ class ScanNode(PlanNode):
 
     produces_fresh_rows = False
 
+    __slots__ = ("path",)
+
     def __init__(self, path: "RowSource") -> None:
         super().__init__()
         self.path = path
@@ -581,7 +601,7 @@ class ScanNode(PlanNode):
         return self.path.name
 
     @property
-    def table(self):
+    def table(self) -> Any:
         """The scanned table (lets shared CPU-charging helpers reach the disk)."""
         return self.path.table  # type: ignore[attr-defined]
 
@@ -623,6 +643,8 @@ class ProbeNode(PlanNode):
     name = "inner_probe"
     produces_fresh_rows = False
 
+    __slots__ = ("probe",)
+
     def __init__(self, probe: "InnerProbe") -> None:
         super().__init__()
         self.probe = probe
@@ -636,7 +658,9 @@ class ProbeNode(PlanNode):
         return f"{self.name}({self.probe.describe()})"
 
 
-def materialize(source: "RowSource", context: ExecutionContext | None = None):
+def materialize(
+    source: "RowSource", context: ExecutionContext | None = None
+) -> AccessResult:
     """Drain a row source into an :class:`~repro.engine.access.AccessResult`.
 
     The one place the stream-to-materialised conversion lives: both
@@ -684,6 +708,8 @@ class JoinOperator(PlanNode):
     #: The inner strategy this operator was planned with (for EXPLAIN).
     strategy = ""
 
+    __slots__ = ("source",)
+
     def __init__(self, source: "RowSource") -> None:
         super().__init__()
         self.source = source
@@ -726,6 +752,8 @@ class ProbeJoin(JoinOperator):
     (via an index, a CM, or a residual-filtered scan) and *verifies* them --
     the operator itself only merges rows.
     """
+
+    __slots__ = ("probe", "inner")
 
     def __init__(self, source: "RowSource", probe: "InnerProbe") -> None:
         super().__init__(source)
@@ -807,6 +835,8 @@ class NestedLoopJoin(ProbeJoin):
     name = "nested_loop_join"
     strategy = "seq_scan"
 
+    __slots__ = ()
+
 
 class IndexNestedLoopJoin(ProbeJoin):
     """Index nested loops: probe an inner access structure per outer row.
@@ -822,12 +852,14 @@ class IndexNestedLoopJoin(ProbeJoin):
 
     name = "index_nested_loop_join"
 
+    __slots__ = ("strategy",)
+
     def __init__(self, source: "RowSource", probe: "InnerProbe", strategy: str) -> None:
         super().__init__(source, probe)
         self.strategy = strategy
 
 
-def _key_getter(columns: Sequence[str]):
+def _key_getter(columns: Sequence[str]) -> Callable[[Mapping[str, Any]], Any]:
     """A function extracting the join key of one row.
 
     Built on :func:`operator.itemgetter` (a C-level extractor): a scalar for
@@ -861,7 +893,9 @@ def _sort_cpu_tuples(rows: int) -> int:
     return int(sort_comparison_count(rows))
 
 
-def _ordering_key_getter(columns: Sequence[str]):
+def _ordering_key_getter(
+    columns: Sequence[str],
+) -> Callable[[Mapping[str, Any]], tuple[Any, ...]]:
     """A join-key extractor whose keys also order in the presence of None.
 
     Equality between wrapped keys is exactly raw-value equality (so merge
@@ -927,6 +961,15 @@ class HashJoin(JoinOperator):
 
     name = "hash_join"
     strategy = "hash"
+
+    __slots__ = (
+        "inner_path",
+        "join_on",
+        "build_side",
+        "inner_label",
+        "_outer_key",
+        "_inner_key",
+    )
 
     def __init__(
         self,
@@ -1114,6 +1157,16 @@ class SortMergeJoin(JoinOperator):
     name = "sort_merge_join"
     strategy = "merge"
 
+    __slots__ = (
+        "inner_path",
+        "join_on",
+        "inner_sorted",
+        "outer_sorted",
+        "inner_label",
+        "_outer_key",
+        "_inner_key",
+    )
+
     def __init__(
         self,
         source: "RowSource",
@@ -1264,7 +1317,7 @@ class SortMergeJoin(JoinOperator):
     def _merge(
         self,
         outer_rows: Iterable[Mapping[str, Any]],
-        inner_in_key_order,
+        inner_in_key_order: Callable[[], Iterator[Mapping[str, Any]]],
         context: ExecutionContext,
     ) -> Iterator[dict[str, Any]]:
         from itertools import groupby

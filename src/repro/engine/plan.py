@@ -37,7 +37,10 @@ from __future__ import annotations
 
 import heapq
 from operator import itemgetter
-from typing import Any, Callable, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping, Sequence
+
+if TYPE_CHECKING:
+    from repro.storage.disk import DiskModel
 
 from repro.core.cost import sort_comparison_count, top_k_comparison_count
 from repro.engine.executor import (
@@ -180,7 +183,9 @@ class DecoratorNode(PlanNode):
 
     is_decorator = True
 
-    def __init__(self, source: PlanNode, *, disk=None) -> None:
+    __slots__ = ("source", "disk")
+
+    def __init__(self, source: PlanNode, *, disk: DiskModel | None = None) -> None:
         super().__init__()
         self.source = source
         #: The simulated disk to charge in-operator CPU work to (optional so
@@ -229,8 +234,14 @@ class SortNode(DecoratorNode):
 
     name = "sort"
 
+    __slots__ = ("ordering", "rows_in")
+
     def __init__(
-        self, source: PlanNode, ordering: Sequence[tuple[str, bool]], *, disk=None
+        self,
+        source: PlanNode,
+        ordering: Sequence[tuple[str, bool]],
+        *,
+        disk: DiskModel | None = None,
     ) -> None:
         super().__init__(source, disk=disk)
         self.ordering = tuple(ordering)
@@ -292,13 +303,15 @@ class TopKNode(DecoratorNode):
 
     name = "topk"
 
+    __slots__ = ("ordering", "k", "rows_in")
+
     def __init__(
         self,
         source: PlanNode,
         ordering: Sequence[tuple[str, bool]],
         k: int,
         *,
-        disk=None,
+        disk: DiskModel | None = None,
     ) -> None:
         if k < 0:
             raise ValueError("k must be non-negative")
@@ -398,7 +411,15 @@ class AggregateNode(DecoratorNode):
 
     name = "aggregate"
 
-    def __init__(self, source: PlanNode, aggregate: Aggregate, *, disk=None) -> None:
+    __slots__ = ("aggregate", "rows_in", "value")
+
+    def __init__(
+        self,
+        source: PlanNode,
+        aggregate: Aggregate,
+        *,
+        disk: DiskModel | None = None,
+    ) -> None:
         super().__init__(source, disk=disk)
         self.aggregate = aggregate
         self.rows_in = 0
@@ -455,13 +476,15 @@ class GroupByNode(DecoratorNode):
 
     name = "hash_group"
 
+    __slots__ = ("group_columns", "aggregate", "rows_in", "groups_out")
+
     def __init__(
         self,
         source: PlanNode,
         group_columns: Sequence[str],
         aggregate: Aggregate,
         *,
-        disk=None,
+        disk: DiskModel | None = None,
     ) -> None:
         super().__init__(source, disk=disk)
         self.group_columns = tuple(group_columns)
@@ -549,7 +572,11 @@ class LimitNode(DecoratorNode):
 
     name = "limit"
 
-    def __init__(self, source: PlanNode, k: int, *, disk=None) -> None:
+    __slots__ = ("k",)
+
+    def __init__(
+        self, source: PlanNode, k: int, *, disk: DiskModel | None = None
+    ) -> None:
         if k < 0:
             raise ValueError("k must be non-negative")
         super().__init__(source, disk=disk)
@@ -603,7 +630,11 @@ class ProjectNode(DecoratorNode):
 
     name = "project"
 
-    def __init__(self, source: PlanNode, columns: Sequence[str], *, disk=None) -> None:
+    __slots__ = ("columns",)
+
+    def __init__(
+        self, source: PlanNode, columns: Sequence[str], *, disk: DiskModel | None = None
+    ) -> None:
         super().__init__(source, disk=disk)
         self.columns = tuple(columns)
 

@@ -52,7 +52,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+if TYPE_CHECKING:
+    from repro.core.correlation_map import CorrelationMap
+    from repro.storage.disk import DiskModel
 
 from repro.core.cost import (
     CMCostInputs,
@@ -154,7 +158,9 @@ class Planner:
 
     # -- lookup-count estimation --------------------------------------------------
 
-    def _estimate_n_lookups(self, table: Table, predicates: PredicateSet, attributes) -> int:
+    def _estimate_n_lookups(
+        self, table: Table, predicates: PredicateSet, attributes: Sequence[str]
+    ) -> int:
         """How many distinct values an index/CM will be probed with."""
         first = attributes[0]
         predicate = predicates.on_attribute(first)
@@ -337,7 +343,7 @@ class Planner:
             )
         return plans
 
-    def _estimate_cm_lookups(self, cm, predicates: PredicateSet) -> int:
+    def _estimate_cm_lookups(self, cm: CorrelationMap, predicates: PredicateSet) -> int:
         """Number of CM keys (buckets) the query's constraints touch.
 
         The CM is memory resident, so counting its matching keys is cheap and
@@ -358,7 +364,7 @@ class Planner:
         matching = sum(1 for key in cm.keys() if key_matches(key, bucket_constraints))
         return max(1, matching)
 
-    def _pages_per_target(self, table: Table, cm) -> float:
+    def _pages_per_target(self, table: Table, cm: CorrelationMap) -> float:
         """Average heap pages covered by one CM target (bucket or value)."""
         if table.cm_uses_buckets(cm.name) and table.pages_per_bucket:
             return float(table.pages_per_bucket)
@@ -368,7 +374,10 @@ class Planner:
     # -- ordering analysis ---------------------------------------------------------
 
     @staticmethod
-    def _ordering_satisfied(stream_ordering, required) -> bool:
+    def _ordering_satisfied(
+        stream_ordering: Sequence[tuple[Any, bool]],
+        required: Sequence[tuple[str, bool]],
+    ) -> bool:
         """Whether a stream's known ordering covers the requested ORDER BY.
 
         ``stream_ordering`` entries are ``(column_or_column_set, ascending)``
@@ -422,9 +431,9 @@ class Planner:
         limit: int | None,
         projection: Sequence[str] | None,
         input_rows: float,
-        input_ordering,
+        input_ordering: Sequence[tuple[Any, bool]],
         tables: Sequence[Table],
-        disk,
+        disk: DiskModel | None,
     ) -> PlanNode:
         """Stack Aggregate/GroupBy, Sort/TopK, Limit, Project over ``node``.
 

@@ -10,7 +10,7 @@ by correlation maps and the query rewriter.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.core.composite import ValueConstraint
 
@@ -214,7 +214,7 @@ class PredicateSet:
         #: projection), built lazily by :meth:`batch_kernel`.
         self._kernels: dict[tuple[str, ...] | None, Callable[[list], list]] = {}
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator["Predicate"]:
         return iter(self.predicates)
 
     def __len__(self) -> int:

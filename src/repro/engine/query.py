@@ -243,15 +243,21 @@ class Aggregate:
         return cls("count", alias=alias)
 
     @classmethod
-    def count_distinct(cls, expression, *, alias: str | None = None) -> "Aggregate":
+    def count_distinct(
+        cls, expression: str | Callable[[Mapping[str, Any]], Any], *, alias: str | None = None
+    ) -> "Aggregate":
         return cls("count_distinct", expression, alias=alias)
 
     @classmethod
-    def avg(cls, expression, *, alias: str | None = None) -> "Aggregate":
+    def avg(
+        cls, expression: str | Callable[[Mapping[str, Any]], Any], *, alias: str | None = None
+    ) -> "Aggregate":
         return cls("avg", expression, alias=alias)
 
     @classmethod
-    def sum(cls, expression, *, alias: str | None = None) -> "Aggregate":
+    def sum(
+        cls, expression: str | Callable[[Mapping[str, Any]], Any], *, alias: str | None = None
+    ) -> "Aggregate":
         return cls("sum", expression, alias=alias)
 
 

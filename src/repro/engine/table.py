@@ -15,7 +15,10 @@ id so that correlation-map scans still find them.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
+
+if TYPE_CHECKING:
+    from repro.engine.predicates import PredicateSet
 
 from repro.core.bucketing import Bucketer, assign_clustered_buckets
 from repro.core.composite import CompositeKeySpec
@@ -433,7 +436,7 @@ class Table:
             attributes = [attributes]
         return self.statistics.cardinality(CompositeKeySpec.build(attributes))
 
-    def estimate_matching_rows(self, predicates) -> float:
+    def estimate_matching_rows(self, predicates: PredicateSet) -> float:
         """Estimated rows satisfying ``predicates`` (sample selectivity x count).
 
         Used by LIMIT-aware plan selection and join-cardinality estimation;

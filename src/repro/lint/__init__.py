@@ -1,0 +1,58 @@
+"""``repro-lint``: AST-based static checks for the engine's invariants.
+
+Seven PRs of growth accumulated contracts that runtime tests can only probe
+dynamically -- the planner's zero-heap-reads rule, the bit-identical
+row/batch parity accounting, replayable seeded-only randomness, cooperative
+scheduler generator safety, ``__slots__`` on hot-path containers.  This
+package machine-checks them *statically*, before any test runs: every rule
+is a pure function over a module's :mod:`ast` tree, registered with the
+rule registry and driven by :class:`LintEngine` over the ``src/repro``
+source tree.
+
+Layout:
+
+``violations``
+    :class:`Violation` -- one finding: rule id, file, line, column, message.
+
+``registry``
+    :class:`Rule` base class plus the global rule registry
+    (:func:`register_rule`, :func:`all_rules`).
+
+``engine``
+    :class:`ModuleSource` (parsed module + suppression table) and
+    :class:`LintEngine` (walks files, applies rules, filters
+    ``# lint: disable=RULE`` suppressions into a :class:`LintReport`).
+
+``reporters``
+    Text and JSON renderings of a report (the JSON form is the CI
+    artifact).
+
+``rules``
+    The engine-specific checkers; importing :mod:`repro.lint.rules`
+    populates the registry.
+
+The command-line entry point is ``scripts/lint.py``; the test fixture
+corpus under ``tests/lint/`` pins each rule's exact findings, and
+``tests/lint/test_repo_clean.py`` is the dogfooding gate: the repository
+itself must lint clean.
+"""
+
+from repro.lint.engine import LintEngine, LintReport, ModuleSource
+from repro.lint.registry import Rule, all_rules, register_rule
+from repro.lint.reporters import render_json, render_text
+from repro.lint.violations import Violation
+
+# Importing the rules package registers every built-in checker.
+from repro.lint import rules as _rules  # noqa: F401  # lint: disable=REPRO107
+
+__all__ = [
+    "LintEngine",
+    "LintReport",
+    "ModuleSource",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "register_rule",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,212 @@
+"""The lint driver: parse modules, run rules, filter suppressions.
+
+Suppression grammar (mirrors the familiar ``noqa`` shape, but per rule --
+a blanket "disable everything here" is deliberately not offered):
+
+``# lint: disable=REPRO105`` (or ``disable=slots``)
+    Suppresses that rule on the *line carrying the comment*.  Several
+    rules separate with commas: ``# lint: disable=REPRO103,REPRO104``.
+
+``# lint: disable-file=REPRO107``
+    Suppresses the rule for the whole module (any line of the file).
+
+Every suppression is per-rule by id or by name; an unknown token in a
+disable comment is itself reported (``REPRO100``), so typos cannot
+silently turn a gate off.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.registry import Rule, all_rules
+from repro.lint.violations import Violation
+
+#: Matches the ``disable=`` / ``disable-file=`` suppression comments.
+_DISABLE = re.compile(
+    r"#\s*lint:\s*(?P<scope>disable(?:-file)?)\s*=\s*(?P<rules>[A-Za-z0-9_,\- ]+)"
+)
+
+
+@dataclass(slots=True)
+class Suppressions:
+    """Parsed ``# lint: disable`` comments of one module."""
+
+    #: line number -> rule tokens disabled on that line.
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    #: rule tokens disabled for the whole file.
+    whole_file: set[str] = field(default_factory=set)
+    #: (line, column, token) of disable comments (for unknown-token checks).
+    tokens: list[tuple[int, int, str]] = field(default_factory=list)
+
+    def is_suppressed(self, violation: Violation) -> bool:
+        wanted = {violation.rule_id, violation.rule_name}
+        if wanted & self.whole_file:
+            return True
+        return bool(wanted & self.by_line.get(violation.line, set()))
+
+
+def parse_suppressions(text: str) -> Suppressions:
+    """Collect disable comments via the tokenizer.
+
+    Tokenizing (rather than regex over raw lines) keeps the grammar out of
+    string literals -- a docstring *showing* ``# lint: disable=...`` is not
+    a suppression.
+    """
+    suppressions = Suppressions()
+    try:
+        comments = [
+            (token.start[0], token.start[1] + 1, token.string)
+            for token in tokenize.generate_tokens(io.StringIO(text).readline)
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return suppressions  # the parse-error path reports the real problem
+    for lineno, column, comment in comments:
+        match = _DISABLE.search(comment)
+        if match is None:
+            continue
+        tokens = {token.strip() for token in match.group("rules").split(",")}
+        tokens.discard("")
+        for token in tokens:
+            suppressions.tokens.append((lineno, column, token))
+        if match.group("scope") == "disable-file":
+            suppressions.whole_file |= tokens
+        else:
+            suppressions.by_line.setdefault(lineno, set()).update(tokens)
+    return suppressions
+
+
+class ModuleSource:
+    """One parsed module handed to every rule.
+
+    ``relpath`` is the repository-relative posix path rules match their
+    scope against; ``tree`` the parsed AST; ``lines`` the raw source lines
+    (1-indexed via ``line(n)``) for the few checks that need the text.
+    """
+
+    __slots__ = ("path", "relpath", "text", "lines", "tree", "suppressions")
+
+    def __init__(self, path: Path, relpath: str, text: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=str(path))
+        self.suppressions = parse_suppressions(text)
+
+    def line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+@dataclass(slots=True)
+class LintReport:
+    """The outcome of one lint run."""
+
+    violations: list[Violation]
+    files_checked: int
+    rules_run: list[str]
+    suppressed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _known_tokens(rules: Sequence[Rule]) -> set[str]:
+    known: set[str] = set()
+    for rule in rules:
+        known.add(rule.rule_id)
+        known.add(rule.name)
+    return known
+
+
+class LintEngine:
+    """Runs a set of rules over a set of files.
+
+    ``root`` anchors the repository-relative paths rules scope on; rules
+    default to the full registry.  Unparseable files surface as ``REPRO000``
+    violations rather than crashing the run, and unknown tokens in disable
+    comments surface as ``REPRO100`` -- both are ordinary findings, so the
+    exit code catches them.
+    """
+
+    def __init__(self, root: Path, rules: Sequence[Rule] | None = None) -> None:
+        self.root = root.resolve()
+        self.rules = list(rules) if rules is not None else all_rules()
+
+    def _relpath(self, path: Path) -> str:
+        resolved = path.resolve()
+        try:
+            return resolved.relative_to(self.root).as_posix()
+        except ValueError:
+            return resolved.as_posix()
+
+    def iter_files(self, targets: Iterable[Path]) -> list[Path]:
+        """Expand directories to their ``*.py`` files, sorted, deduplicated."""
+        files: dict[Path, None] = {}
+        for target in targets:
+            if target.is_dir():
+                for path in sorted(target.rglob("*.py")):
+                    files[path] = None
+            else:
+                files[target] = None
+        return list(files)
+
+    def run(self, targets: Iterable[Path]) -> LintReport:
+        violations: list[Violation] = []
+        suppressed = 0
+        files = self.iter_files(targets)
+        known = _known_tokens(self.rules)
+        for path in files:
+            relpath = self._relpath(path)
+            try:
+                module = ModuleSource(path, relpath, path.read_text())
+            except (SyntaxError, UnicodeDecodeError, OSError) as error:
+                line = getattr(error, "lineno", None) or 1
+                violations.append(
+                    Violation(
+                        rule_id="REPRO000",
+                        rule_name="parse-error",
+                        path=relpath,
+                        line=line,
+                        column=1,
+                        message=f"could not parse module: {error}",
+                    )
+                )
+                continue
+            for lineno, column, token in module.suppressions.tokens:
+                if token not in known:
+                    violations.append(
+                        Violation(
+                            rule_id="REPRO100",
+                            rule_name="unknown-suppression",
+                            path=relpath,
+                            line=lineno,
+                            column=column,
+                            message=f"disable comment names unknown rule {token!r}",
+                        )
+                    )
+            for rule in self.rules:
+                if not rule.applies_to(relpath):
+                    continue
+                for violation in rule.check(module):
+                    if module.suppressions.is_suppressed(violation):
+                        suppressed += 1
+                    else:
+                        violations.append(violation)
+        violations.sort(key=lambda violation: violation.sort_key)
+        return LintReport(
+            violations=violations,
+            files_checked=len(files),
+            rules_run=[rule.rule_id for rule in self.rules],
+            suppressed=suppressed,
+        )

@@ -1,0 +1,96 @@
+"""Rule base class and the global rule registry.
+
+A rule is a small visitor over one module's AST.  Rules self-register via
+the :func:`register_rule` class decorator, so adding a checker is one new
+module under :mod:`repro.lint.rules` -- the engine, the CLI and the test
+corpus all pick it up from :func:`all_rules`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator, TypeVar
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.engine import ModuleSource
+    from repro.lint.violations import Violation
+
+
+class Rule:
+    """One invariant checker.
+
+    Subclasses set the class attributes and implement :meth:`check`;
+    :meth:`applies_to` narrows the rule to the files whose contract it
+    guards (paths are repository-relative, ``/``-separated).
+    """
+
+    #: Stable machine id (``REPRO101`` ...), used in reports and in
+    #: ``# lint: disable=`` comments.
+    rule_id: str = ""
+    #: Human-readable slug (``planner-purity``), accepted by ``disable=``
+    #: comments and ``--select``/``--ignore`` interchangeably with the id.
+    name: str = ""
+    #: One-line statement of the contract the rule guards.
+    description: str = ""
+
+    def applies_to(self, path: str) -> bool:
+        """Whether ``path`` (repo-relative, posix) is in this rule's scope."""
+        return True
+
+    def check(self, module: "ModuleSource") -> Iterator["Violation"]:
+        """Yield every violation of this rule in ``module``."""
+        raise NotImplementedError
+
+    def violation(
+        self, module: "ModuleSource", line: int, column: int, message: str
+    ) -> "Violation":
+        from repro.lint.violations import Violation
+
+        return Violation(
+            rule_id=self.rule_id,
+            rule_name=self.name,
+            path=module.relpath,
+            line=line,
+            column=column,
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+RuleType = TypeVar("RuleType", bound=type[Rule])
+
+
+def register_rule(rule_class: RuleType) -> RuleType:
+    """Class decorator adding a rule to the global registry.
+
+    Ids must be unique; re-registering the same class is a no-op so that
+    re-imports (pytest, interactive use) stay harmless.
+    """
+    rule_id = rule_class.rule_id
+    if not rule_id or not rule_class.name:
+        raise ValueError(f"{rule_class.__name__} must set rule_id and name")
+    existing = _REGISTRY.get(rule_id)
+    if existing is not None and existing is not rule_class:
+        raise ValueError(f"duplicate rule id {rule_id!r}")
+    _REGISTRY[rule_id] = rule_class
+    return rule_class
+
+
+def all_rules() -> list[Rule]:
+    """A fresh instance of every registered rule, in id order."""
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def resolve_rule_ids(tokens: Iterable[str]) -> set[str]:
+    """Map ``--select``/``--ignore`` tokens (ids or names) to rule ids."""
+    by_name = {cls.name: rule_id for rule_id, cls in _REGISTRY.items()}
+    resolved: set[str] = set()
+    for token in tokens:
+        if token in _REGISTRY:
+            resolved.add(token)
+        elif token in by_name:
+            resolved.add(by_name[token])
+        else:
+            known = ", ".join(sorted(_REGISTRY) + sorted(by_name))
+            raise ValueError(f"unknown rule {token!r} (known: {known})")
+    return resolved

@@ -1,0 +1,33 @@
+"""Render a :class:`~repro.lint.engine.LintReport` as text or JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintReport
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable report: one line per violation plus a summary."""
+    lines = [violation.render() for violation in report.violations]
+    noun = "violation" if len(report.violations) == 1 else "violations"
+    summary = (
+        f"{len(report.violations)} {noun} "
+        f"({report.files_checked} files, {len(report.rules_run)} rules"
+        + (f", {report.suppressed} suppressed" if report.suppressed else "")
+        + ")"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable report (the CI artifact format)."""
+    payload = {
+        "ok": report.ok,
+        "files_checked": report.files_checked,
+        "rules_run": report.rules_run,
+        "suppressed": report.suppressed,
+        "violations": [violation.to_dict() for violation in report.violations],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,11 @@
+"""Importing this package registers every built-in rule."""
+
+from repro.lint.rules import (  # noqa: F401
+    determinism,
+    imports,
+    parity_accounting,
+    planner_purity,
+    scheduler_safety,
+    slots,
+    typed_defs,
+)

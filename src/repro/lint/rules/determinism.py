@@ -1,0 +1,112 @@
+"""REPRO103: the engine must be replayable from a seed.
+
+The differential fuzzer and the anomaly suites replay whole workloads
+from a single integer seed; one ambient clock read or module-level
+``random.random()`` call makes a failure unreproducible.  The rule bans:
+
+* wall-clock reads (``time.time``, ``datetime.now`` ...) everywhere in
+  ``src/repro`` -- the benchmark harness under ``bench/`` is exempt from
+  the *timer* subset (``perf_counter``/``strftime``/``gmtime``), because
+  measuring wall-clock time is its entire point;
+* module-level randomness (``random.random()``, ``random.shuffle`` ...)
+  and ``from random import`` of anything but ``Random``.  Seeded
+  ``random.Random(seed)`` instances are the sanctioned source.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import ModuleSource
+from repro.lint.registry import Rule, register_rule
+from repro.lint.rules._common import import_aliases, qualified_call_name
+from repro.lint.violations import Violation
+
+#: Ambient clock reads banned everywhere (replay would diverge).
+CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.localtime",
+        "time.ctime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Timer/formatting calls allowed only in the wall-clock benchmark harness.
+TIMER_CALLS = frozenset(
+    {
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.strftime",
+        "time.gmtime",
+    }
+)
+
+#: The benchmark package allowed to read timers.
+BENCH_PREFIX = "bench/"
+
+
+@register_rule
+class DeterminismRule(Rule):
+    rule_id = "REPRO103"
+    name = "determinism"
+    description = (
+        "no ambient clocks or module-level random in the engine; randomness "
+        "must come from seeded random.Random instances"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Violation]:
+        aliases = import_aliases(module.tree)
+        in_bench = BENCH_PREFIX in module.relpath
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                qualified = qualified_call_name(node, aliases)
+                if qualified is None:
+                    continue
+                if qualified in CLOCK_CALLS:
+                    yield self.violation(
+                        module,
+                        node.lineno,
+                        node.col_offset + 1,
+                        f"ambient clock read {qualified}() breaks "
+                        "replay-from-seed; thread explicit timestamps instead",
+                    )
+                elif qualified in TIMER_CALLS and not in_bench:
+                    yield self.violation(
+                        module,
+                        node.lineno,
+                        node.col_offset + 1,
+                        f"{qualified}() outside the bench/ harness; engine "
+                        "code must not observe wall-clock time",
+                    )
+                elif (
+                    qualified.startswith("random.")
+                    and qualified != "random.Random"
+                ):
+                    yield self.violation(
+                        module,
+                        node.lineno,
+                        node.col_offset + 1,
+                        f"module-level {qualified}() shares hidden global "
+                        "state; use a seeded random.Random instance",
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "random":
+                    for alias in node.names:
+                        if alias.name != "Random":
+                            yield self.violation(
+                                module,
+                                node.lineno,
+                                node.col_offset + 1,
+                                f"'from random import {alias.name}' pulls the "
+                                "shared global generator; import Random and "
+                                "seed an instance",
+                            )

@@ -1,0 +1,101 @@
+"""REPRO107: no unused imports.
+
+Dead imports in this codebase have twice masked real coupling (a stray
+``Predicate`` import in ``engine/access.py`` suggested the scan layer
+still depended on the old predicate protocol).  The check resolves names
+used anywhere in the module -- including inside *quoted* annotations,
+which stay string constants even under ``from __future__ import
+annotations`` (e.g. ``"Database"`` on a parameter whose class is only
+imported under ``TYPE_CHECKING``).
+
+``__init__.py`` files are exempt: re-exports are their purpose (mark
+intent with ``__all__`` or a trailing ``# lint: disable=REPRO107``
+elsewhere).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import ModuleSource
+from repro.lint.registry import Rule, register_rule
+from repro.lint.violations import Violation
+
+
+def _names_in_expression(text: str) -> set[str]:
+    """Identifiers appearing in a quoted annotation like ``"list[RID]"``."""
+    try:
+        tree = ast.parse(text, mode="eval")
+    except SyntaxError:
+        return set()
+    return {node.id for node in ast.walk(tree) if isinstance(node, ast.Name)}
+
+
+def _used_names(tree: ast.Module) -> set[str]:
+    used: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            used.add(node.attr)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # Quoted annotations ("Database", "list[RID]") keep names alive.
+            if len(node.value) < 200 and node.value.isprintable():
+                used |= _names_in_expression(node.value)
+    return used
+
+
+def _exported_names(tree: ast.Module) -> set[str]:
+    """Names listed in a module-level ``__all__``."""
+    exported: set[str] = set()
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                if isinstance(node.value, (ast.List, ast.Tuple)):
+                    for element in node.value.elts:
+                        if isinstance(element, ast.Constant):
+                            if isinstance(element.value, str):
+                                exported.add(element.value)
+    return exported
+
+
+@register_rule
+class UnusedImportRule(Rule):
+    rule_id = "REPRO107"
+    name = "unused-import"
+    description = "imported names must be used (quoted annotations count)"
+
+    def applies_to(self, path: str) -> bool:
+        return not path.endswith("__init__.py")
+
+    def check(self, module: ModuleSource) -> Iterator[Violation]:
+        used = _used_names(module.tree)
+        exported = _exported_names(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    if local not in used and local not in exported:
+                        yield self.violation(
+                            module,
+                            node.lineno,
+                            node.col_offset + 1,
+                            f"import {alias.name!r} is unused",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue  # compiler directive, never "used" by name
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    if local not in used and local not in exported:
+                        yield self.violation(
+                            module,
+                            node.lineno,
+                            node.col_offset + 1,
+                            f"imported name {local!r} is unused",
+                        )

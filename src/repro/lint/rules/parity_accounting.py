@@ -1,0 +1,112 @@
+"""REPRO102: scan kernels charge counters before filtering, and only the
+two shared kernels read heap pages.
+
+The row-at-a-time and batch-at-a-time paths must report identical
+``rows_examined`` for the same snapshot, which only holds if every kernel
+charges the counter *before* MVCC visibility filtering and predicate
+evaluation drop rows.  The dynamic twin is the differential fuzzer
+(``tests/test_fuzz_differential.py``) plus the parity assertions in
+``tests/test_batch_parity.py``; this checker pins the two code shapes the
+fuzzer relies on:
+
+* ``HeapFile.read_page``/``read_pages``/``read_page_run`` may only be
+  called from the two shared kernels in ``engine/access.py``
+  (``_sweep_pages`` and ``_sweep_pages_batched``) -- every other operator
+  goes through them, so accounting lives in exactly one place per path;
+* any function that both charges an examined counter and filters rows
+  must charge first (smaller line number than the first filter call).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import ModuleSource
+from repro.lint.registry import Rule, register_rule
+from repro.lint.rules._common import (
+    terminal_attribute,
+    walk_functions,
+    walk_own_nodes,
+)
+from repro.lint.violations import Violation
+
+#: The only functions allowed to pull heap pages.
+SHARED_KERNELS = frozenset({"_sweep_pages", "_sweep_pages_batched"})
+KERNEL_MODULE = "engine/access.py"
+
+#: Page-pulling heap APIs owned by the shared kernels.
+PAGE_READS = frozenset({"read_page", "read_pages", "read_page_run"})
+
+#: Counter names whose ``+=`` constitutes "charging" an examined row.
+CHARGE_NAMES = frozenset({"examined", "rows_examined"})
+
+#: Calls that drop rows: MVCC visibility, predicate evaluation, fused
+#: batch kernels.
+FILTER_CALLS = frozenset({"visible", "matches", "kernel"})
+
+
+def _charge_lines(function: ast.FunctionDef | ast.AsyncFunctionDef) -> list[int]:
+    lines: list[int] = []
+    for node in walk_own_nodes(function):
+        if isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
+            if terminal_attribute(node.target) in CHARGE_NAMES:
+                lines.append(node.lineno)
+    return lines
+
+
+def _filter_lines(function: ast.FunctionDef | ast.AsyncFunctionDef) -> list[int]:
+    lines: list[int] = []
+    for node in walk_own_nodes(function):
+        if isinstance(node, ast.Call):
+            if terminal_attribute(node.func) in FILTER_CALLS:
+                lines.append(node.lineno)
+    return lines
+
+
+@register_rule
+class ParityAccountingRule(Rule):
+    rule_id = "REPRO102"
+    name = "parity-accounting"
+    description = (
+        "heap page reads only inside the shared scan kernels, and examined "
+        "counters charged before visibility/predicate filtering"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        # Storage owns the read APIs themselves; everything else in the
+        # engine tree is in scope.
+        parts = path.split("/")[:-1]
+        return "storage" not in parts
+
+    def check(self, module: ModuleSource) -> Iterator[Violation]:
+        in_kernel_module = module.relpath.endswith(KERNEL_MODULE)
+        for function in walk_functions(module.tree):
+            allowed = in_kernel_module and function.name in SHARED_KERNELS
+            if not allowed:
+                for node in walk_own_nodes(function):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    name = terminal_attribute(node.func)
+                    if isinstance(node.func, ast.Attribute) and name in PAGE_READS:
+                        yield self.violation(
+                            module,
+                            node.lineno,
+                            node.col_offset + 1,
+                            f".{name}() outside the shared scan kernels -- "
+                            "route page access through _sweep_pages / "
+                            "_sweep_pages_batched so parity accounting stays "
+                            "in one place",
+                        )
+            charges = _charge_lines(function)
+            filters = _filter_lines(function)
+            if charges and filters and min(filters) < min(charges):
+                yield self.violation(
+                    module,
+                    min(filters),
+                    1,
+                    f"{function.name!r} filters rows (line {min(filters)}) "
+                    f"before charging the examined counter (line "
+                    f"{min(charges)}); charge before visibility/predicate "
+                    "filtering so row and batch paths agree",
+                )

@@ -1,0 +1,105 @@
+"""REPRO105: hot-path containers declare ``__slots__``.
+
+Millions of :class:`RID`/page/plan-node instances live at once during a
+scan; per-instance ``__dict__`` turned a 48-byte RID into 352 bytes
+before PR 5 slotted it.  Classes in the storage layer, the plan tree and
+the executor's operator/batch containers must therefore declare
+``__slots__`` (directly or via ``@dataclass(slots=True)``).
+
+Exemptions: ``typing.Protocol`` definitions, ``Exception`` subclasses,
+``Enum`` subclasses and ``NamedTuple``s -- none of them carry
+per-instance dicts worth slotting (or cannot be slotted at all).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import ModuleSource
+from repro.lint.registry import Rule, register_rule
+from repro.lint.rules._common import terminal_attribute
+from repro.lint.violations import Violation
+
+#: Paths whose classes are hot-path containers.
+HOT_PATHS = ("engine/plan.py", "engine/executor.py")
+HOT_DIR = "storage"
+
+#: Base classes that exempt a class from the slots requirement.
+EXEMPT_BASES = frozenset(
+    {"Protocol", "Exception", "BaseException", "Enum", "IntEnum", "NamedTuple"}
+)
+
+
+def _has_slots_assignment(class_def: ast.ClassDef) -> bool:
+    for statement in class_def.body:
+        targets: list[ast.expr] = []
+        if isinstance(statement, ast.Assign):
+            targets = statement.targets
+        elif isinstance(statement, ast.AnnAssign):
+            targets = [statement.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    return False
+
+
+def _dataclass_slots(class_def: ast.ClassDef) -> bool:
+    for decorator in class_def.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        if terminal_attribute(decorator.func) != "dataclass":
+            continue
+        for keyword in decorator.keywords:
+            if (
+                keyword.arg == "slots"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            ):
+                return True
+    return False
+
+
+def _is_exempt(class_def: ast.ClassDef) -> bool:
+    for base in class_def.bases:
+        name = terminal_attribute(base)
+        if name in EXEMPT_BASES:
+            return True
+        # Protocol[T] / Generic subscript forms.
+        if isinstance(base, ast.Subscript):
+            if terminal_attribute(base.value) in EXEMPT_BASES:
+                return True
+    return False
+
+
+@register_rule
+class SlotsRule(Rule):
+    rule_id = "REPRO105"
+    name = "slots-on-hot-path"
+    description = (
+        "storage, plan-tree and executor classes must declare __slots__ "
+        "(directly or via dataclass(slots=True))"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        if path.endswith(HOT_PATHS):
+            return True
+        parts = path.split("/")[:-1]
+        return HOT_DIR in parts
+
+    def check(self, module: ModuleSource) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if _is_exempt(node):
+                continue
+            if _has_slots_assignment(node) or _dataclass_slots(node):
+                continue
+            yield self.violation(
+                module,
+                node.lineno,
+                node.col_offset + 1,
+                f"class {node.name!r} is on the hot path but declares no "
+                "__slots__; per-instance __dict__ costs ~7x memory at scan "
+                "scale",
+            )

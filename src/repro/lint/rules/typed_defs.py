@@ -1,0 +1,82 @@
+"""REPRO106: every function signature in ``src/repro`` is fully annotated.
+
+The container this repo develops in cannot install ``mypy``; CI runs
+``mypy --strict src/repro``, but the local gate that keeps the tree
+strict-clean between pushes is this rule: every parameter and every
+return type annotated, no exceptions beyond the conventional ones
+(``self``/``cls``, ``*args``/``**kwargs`` still need annotations, and
+``__init__``/generators are not special-cased -- strict mypy requires
+them too).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import ModuleSource
+from repro.lint.registry import Rule, register_rule
+from repro.lint.rules._common import walk_functions
+from repro.lint.violations import Violation
+
+#: Implicit first parameters that need no annotation.
+IMPLICIT_FIRST = frozenset({"self", "cls"})
+
+
+@register_rule
+class TypedDefsRule(Rule):
+    rule_id = "REPRO106"
+    name = "typed-defs"
+    description = (
+        "every function must annotate all parameters and its return type "
+        "(local proxy for mypy --strict)"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Violation]:
+        methods: set[ast.AST] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                for statement in node.body:
+                    if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        methods.add(statement)
+        for function in walk_functions(module.tree):
+            args = function.args
+            ordered = [*args.posonlyargs, *args.args]
+            skip_first = bool(ordered) and function in methods
+            for index, arg in enumerate(ordered):
+                if skip_first and index == 0 and arg.arg in IMPLICIT_FIRST:
+                    continue
+                if arg.annotation is None:
+                    yield self.violation(
+                        module,
+                        arg.lineno,
+                        arg.col_offset + 1,
+                        f"parameter {arg.arg!r} of {function.name!r} lacks a "
+                        "type annotation",
+                    )
+            for arg in args.kwonlyargs:
+                if arg.annotation is None:
+                    yield self.violation(
+                        module,
+                        arg.lineno,
+                        arg.col_offset + 1,
+                        f"parameter {arg.arg!r} of {function.name!r} lacks a "
+                        "type annotation",
+                    )
+            for arg in (args.vararg, args.kwarg):
+                if arg is not None and arg.annotation is None:
+                    yield self.violation(
+                        module,
+                        arg.lineno,
+                        arg.col_offset + 1,
+                        f"parameter {arg.arg!r} of {function.name!r} lacks a "
+                        "type annotation",
+                    )
+            if function.returns is None:
+                yield self.violation(
+                    module,
+                    function.lineno,
+                    function.col_offset + 1,
+                    f"function {function.name!r} lacks a return type "
+                    "annotation",
+                )

@@ -1,0 +1,44 @@
+"""The unit of lint output: one violation of one rule at one location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One finding: a rule fired at a source location.
+
+    ``rule_id`` is the stable machine identifier (``REPRO101`` ...);
+    ``rule_name`` the human-readable slug (``planner-purity``).  ``path``
+    is repository-relative so reports are machine-independent (the JSON
+    report is uploaded as a CI artifact and diffed across runs).
+    """
+
+    rule_id: str
+    rule_name: str
+    path: str
+    line: int
+    column: int
+    message: str
+
+    @property
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.column, self.rule_id)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule_id": self.rule_id,
+            "rule_name": self.rule_name,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.rule_id}[{self.rule_name}] {self.message}"
+        )

@@ -17,13 +17,14 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.storage.disk import DiskModel
 
 PageKey = tuple[str, int]
 
 
-@dataclass
+@dataclass(slots=True)
 class BufferPoolStats:
     """Hit/miss/eviction counters, reported alongside query I/O."""
 
@@ -49,6 +50,8 @@ class BufferPool:
     ``capacity_pages`` plays the role of the 1 GB of RAM in the paper's
     experimental platform (scaled down together with the data sets).
     """
+
+    __slots__ = ("disk", "capacity_pages", "stats", "_frames")
 
     def __init__(self, disk: DiskModel, capacity_pages: int) -> None:
         if capacity_pages <= 0:
@@ -93,7 +96,7 @@ class BufferPool:
         self._evict_if_needed()
         return False
 
-    def access_run(self, file_name: str, page_nos) -> int:
+    def access_run(self, file_name: str, page_nos: Iterable[int]) -> int:
         """Access a batch of pages, charging consecutive misses as one run.
 
         Behaviourally identical to calling :meth:`access` once per page --

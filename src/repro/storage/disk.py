@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DiskParameters:
     """Hardware constants used to convert I/O counts into simulated time.
 
@@ -43,7 +43,7 @@ class DiskParameters:
         return pages * self.seq_page_cost_ms
 
 
-@dataclass
+@dataclass(slots=True)
 class IOBreakdown:
     """A snapshot of I/O counters, used to report per-query statistics."""
 
@@ -125,7 +125,7 @@ class IOBreakdown:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class IOTracker:
     """Accumulates I/O counts and decides sequential vs random accesses.
 
@@ -208,6 +208,8 @@ class DiskModel:
     single :class:`DiskModel`, mirroring the single-spindle experimental
     platform of the paper.
     """
+
+    __slots__ = ("params", "tracker")
 
     def __init__(self, params: DiskParameters | None = None) -> None:
         self.params = params or DiskParameters()

@@ -9,7 +9,7 @@ co-located -- the property the correlation-aware access methods exploit.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.page import Page, RID
@@ -28,6 +28,16 @@ class HeapFile:
     buffer_pool:
         Shared buffer pool through which every page access is charged.
     """
+
+    __slots__ = (
+        "name",
+        "tups_per_page",
+        "buffer_pool",
+        "pages",
+        "_num_tuples",
+        "_min_append_page",
+        "logical_page_reads",
+    )
 
     def __init__(self, name: str, tups_per_page: int, buffer_pool: BufferPool) -> None:
         if tups_per_page <= 0:
@@ -143,7 +153,7 @@ class HeapFile:
                 yield RID(page.page_no, slot), row
 
     def read_pages(
-        self, page_numbers, *, charge_io: bool = True
+        self, page_numbers: Iterable[int], *, charge_io: bool = True
     ) -> list[Page]:
         """Read a batch of pages and return them, charging runs in one call.
 

@@ -16,7 +16,7 @@ from typing import Any
 from repro.storage.disk import DiskModel
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LogRecord:
     """One logical WAL record."""
 
@@ -32,6 +32,17 @@ class LogRecord:
 
 class WriteAheadLog:
     """An append-only log shared by the engine's durable structures."""
+
+    __slots__ = (
+        "disk",
+        "name",
+        "records",
+        "_next_lsn",
+        "_pending_bytes",
+        "_flushed_lsn",
+        "flush_count",
+        "pages_written",
+    )
 
     def __init__(self, disk: DiskModel, *, name: str = "wal") -> None:
         self.disk = disk

@@ -1,0 +1,14 @@
+"""Bad fixture: ambient clocks and module-level randomness."""
+
+import random
+import time
+from random import shuffle  # line 5: REPRO103 (from-random import)
+
+
+def stamp() -> float:
+    return time.time()  # line 9: REPRO103 (ambient clock)
+
+
+def pick(items: list) -> object:
+    shuffle(items)
+    return random.choice(items)  # line 14: REPRO103 (module-level random)

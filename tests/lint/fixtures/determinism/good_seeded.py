@@ -1,0 +1,8 @@
+"""Good fixture: randomness from a seeded instance only."""
+
+from random import Random
+
+
+def pick(items: list, seed: int) -> object:
+    rng = Random(seed)
+    return rng.choice(items)

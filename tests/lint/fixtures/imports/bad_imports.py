@@ -1,0 +1,8 @@
+"""Bad fixture: dead imports of both shapes."""
+
+import json  # line 3: REPRO107 (unused module import)
+from typing import Any, Mapping  # line 4: REPRO107 (Mapping unused)
+
+
+def dump(value: Any) -> str:
+    return str(value)

@@ -1,0 +1,13 @@
+"""Good fixture: every import used, including inside quoted annotations."""
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from decimal import Decimal  # used only in the quoted annotation below
+
+
+def total(values: "list[Decimal]") -> Any:
+    return sum(values)
+
+
+__all__ = ["total"]

@@ -1,0 +1,9 @@
+"""Bad fixture: a rogue scan that reads pages itself and filters first."""
+
+
+def rogue_scan(heap, predicates, counters):  # noqa: fixtures skip typed-defs
+    for page in heap.read_pages(range(heap.num_pages)):  # line 5: REPRO102
+        for row in page.rows:
+            if predicates.matches(row):  # line 7: REPRO102 (filter first...)
+                counters.rows_examined += 1  # (...charge after: wrong order)
+                yield row

@@ -1,0 +1,9 @@
+"""Bad fixture: a costing module that touches storage three ways."""
+
+import repro.storage.disk  # line 3: REPRO101 (storage import)
+from repro.storage.heap import HeapFile  # line 4: REPRO101 (storage from-import)
+
+
+def cost_by_peeking(heap: HeapFile) -> int:
+    page = heap.read_page(0)  # line 8: REPRO101 (read API call)
+    return len(page.rows)

@@ -1,0 +1,14 @@
+"""Good fixture: costing from sampled statistics only."""
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.storage.disk import DiskModel  # type-only: allowed
+
+
+def estimate_pages(sampled_rows: int, tups_per_page: int) -> float:
+    return max(1.0, sampled_rows / tups_per_page)
+
+
+def price(pages: float, disk: "DiskModel") -> float:
+    return pages * disk.params.seek_cost_ms  # reads parameters, not pages

@@ -1,0 +1,5 @@
+"""Good fixture: one batch per quantum, no sleeps."""
+
+
+def quantum(entry) -> object:
+    return next(entry._iterator, None)  # bounded: one batch per quantum

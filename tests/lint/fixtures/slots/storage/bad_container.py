@@ -1,0 +1,14 @@
+"""Bad fixture: hot-path containers without __slots__."""
+
+from dataclasses import dataclass
+
+
+class PageHeader:  # line 6: REPRO105 (no __slots__)
+    def __init__(self, page_no: int) -> None:
+        self.page_no = page_no
+
+
+@dataclass
+class Frame:  # line 12: REPRO105 (dataclass without slots=True)
+    page_no: int = 0
+    dirty: bool = False

@@ -1,0 +1,31 @@
+"""Good fixture: slotted containers plus the exempt shapes."""
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Protocol
+
+
+class PageHeader:
+    __slots__ = ("page_no",)
+
+    def __init__(self, page_no: int) -> None:
+        self.page_no = page_no
+
+
+@dataclass(slots=True)
+class Frame:
+    page_no: int = 0
+    dirty: bool = False
+
+
+class PageLike(Protocol):  # Protocols cannot be slotted: exempt
+    page_no: int
+
+
+class FrameState(Enum):  # Enums are exempt
+    CLEAN = 0
+    DIRTY = 1
+
+
+class PageError(Exception):  # Exceptions are exempt
+    pass

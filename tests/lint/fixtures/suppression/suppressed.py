@@ -1,0 +1,17 @@
+"""Fixture exercising the suppression grammar."""
+# lint: disable-file=unused-import
+
+import json
+import time
+
+
+def now() -> float:
+    return time.time()  # lint: disable=REPRO103
+
+
+def later() -> float:
+    return time.time()  # line 13: REPRO103 (not suppressed)
+
+
+def typo() -> None:
+    pass  # lint: disable=REPRO999

@@ -1,0 +1,18 @@
+"""Bad fixture: signature gaps of every kind."""
+
+
+def no_return(x: int):  # line 4: REPRO106 (return)
+    return x
+
+
+def no_param(x) -> int:  # line 8: REPRO106 (parameter)
+    return x
+
+
+def bad_star(*args, **kwargs) -> None:  # line 12: REPRO106 (two params)
+    pass
+
+
+class Holder:
+    def method(self, value) -> None:  # line 17: REPRO106 (value; self exempt)
+        self.value = value

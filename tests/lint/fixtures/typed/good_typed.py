@@ -1,0 +1,18 @@
+"""Good fixture: fully annotated signatures."""
+
+from typing import Any
+
+
+def typed(x: int, *args: int, flag: bool = False, **kwargs: Any) -> int:
+    return x + len(args)
+
+
+class Holder:
+    def method(self, value: int) -> None:
+        self.value = value
+
+    @classmethod
+    def build(cls, value: int) -> "Holder":
+        holder = cls()
+        holder.method(value)
+        return holder

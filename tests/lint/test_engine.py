@@ -1,0 +1,159 @@
+"""Engine mechanics: suppressions, parse errors, registry, reporters."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    LintEngine,
+    ModuleSource,
+    Rule,
+    all_rules,
+    render_json,
+    render_text,
+)
+from repro.lint.engine import parse_suppressions
+from repro.lint.registry import _REGISTRY, register_rule, resolve_rule_ids
+from repro.lint.violations import Violation
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+SUPPRESSED = FIXTURES / "suppression" / "suppressed.py"
+
+
+def run_fixture(*relpaths: str):
+    engine = LintEngine(FIXTURES, rules=all_rules())
+    return engine.run([FIXTURES / relpath for relpath in relpaths])
+
+
+class TestSuppressions:
+    def test_same_line_disable_suppresses_only_that_line(self):
+        report = run_fixture("suppression/suppressed.py")
+        determinism = [v for v in report.violations if v.rule_id == "REPRO103"]
+        # line 9 is suppressed; line 13 still reports.
+        assert [v.line for v in determinism] == [13]
+        assert report.suppressed >= 1
+
+    def test_disable_file_suppresses_whole_module(self):
+        report = run_fixture("suppression/suppressed.py")
+        assert not any(v.rule_id == "REPRO107" for v in report.violations)
+
+    def test_unknown_token_reported_as_repro100(self):
+        report = run_fixture("suppression/suppressed.py")
+        unknown = [v for v in report.violations if v.rule_id == "REPRO100"]
+        assert len(unknown) == 1
+        assert unknown[0].line == 17
+        assert "REPRO999" in unknown[0].message
+
+    def test_suppression_by_name_equals_by_id(self):
+        by_id = parse_suppressions("x = 1  # lint: disable=REPRO103\n")
+        by_name = parse_suppressions("x = 1  # lint: disable=determinism\n")
+        violation = Violation(
+            rule_id="REPRO103",
+            rule_name="determinism",
+            path="x.py",
+            line=1,
+            column=1,
+            message="",
+        )
+        assert by_id.is_suppressed(violation)
+        assert by_name.is_suppressed(violation)
+
+    def test_string_literals_are_not_suppressions(self):
+        text = 'GRAMMAR = "# lint: disable=REPRO105"\n'
+        suppressions = parse_suppressions(text)
+        assert not suppressions.tokens
+
+    def test_multiple_rules_one_comment(self):
+        suppressions = parse_suppressions(
+            "x = 1  # lint: disable=REPRO103,REPRO104\n"
+        )
+        tokens = {token for _line, _col, token in suppressions.tokens}
+        assert tokens == {"REPRO103", "REPRO104"}
+
+
+class TestEngine:
+    def test_parse_error_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        report = LintEngine(tmp_path, rules=all_rules()).run([bad])
+        assert [v.rule_id for v in report.violations] == ["REPRO000"]
+        assert not report.ok
+
+    def test_directory_expansion_sorted_and_deduplicated(self):
+        engine = LintEngine(FIXTURES, rules=all_rules())
+        once = engine.iter_files([FIXTURES / "imports"])
+        twice = engine.iter_files(
+            [FIXTURES / "imports", FIXTURES / "imports" / "bad_imports.py"]
+        )
+        assert once == twice
+        assert once == sorted(once)
+
+    def test_violations_sorted_by_location(self):
+        report = run_fixture("determinism/bad_clocks.py", "typed/bad_untyped.py")
+        keys = [v.sort_key for v in report.violations]
+        assert keys == sorted(keys)
+
+    def test_ok_property(self):
+        assert run_fixture("determinism/good_seeded.py").ok
+        assert not run_fixture("determinism/bad_clocks.py").ok
+
+
+class TestRegistry:
+    def test_all_rules_sorted_by_id(self):
+        ids = [rule.rule_id for rule in all_rules()]
+        assert ids == sorted(ids)
+        assert len(ids) == len(set(ids))
+
+    def test_resolve_accepts_ids_and_names(self):
+        assert resolve_rule_ids(["REPRO103"]) == {"REPRO103"}
+        assert resolve_rule_ids(["determinism"]) == {"REPRO103"}
+        assert resolve_rule_ids(["slots-on-hot-path", "REPRO101"]) == {
+            "REPRO105",
+            "REPRO101",
+        }
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            resolve_rule_ids(["REPRO999"])
+
+    def test_duplicate_id_rejected(self):
+        class Duplicate(Rule):
+            rule_id = "REPRO103"
+            name = "not-determinism"
+
+        with pytest.raises(ValueError, match="duplicate rule id"):
+            register_rule(Duplicate)
+        # The registry still maps the id to the original class.
+        assert _REGISTRY["REPRO103"].name == "determinism"
+
+    def test_reregistering_same_class_is_noop(self):
+        original = _REGISTRY["REPRO103"]
+        assert register_rule(original) is original
+
+
+class TestReporters:
+    def test_text_report_lines_and_summary(self):
+        report = run_fixture("imports/bad_imports.py")
+        text = render_text(report)
+        lines = text.splitlines()
+        assert lines[0].startswith("imports/bad_imports.py:3:")
+        assert "REPRO107[unused-import]" in lines[0]
+        assert lines[-1].endswith("(1 files, 7 rules)")
+
+    def test_json_report_round_trips(self):
+        report = run_fixture("imports/bad_imports.py")
+        payload = json.loads(render_json(report))
+        assert payload["ok"] is False
+        assert payload["files_checked"] == 1
+        assert len(payload["violations"]) == len(report.violations)
+        first = payload["violations"][0]
+        assert first["rule_id"] == "REPRO107"
+        assert first["path"] == "imports/bad_imports.py"
+        assert first["line"] == 3
+
+    def test_module_source_line_accessor(self):
+        module = ModuleSource(SUPPRESSED, "suppressed.py", SUPPRESSED.read_text())
+        assert module.line(1).startswith('"""Fixture')
+        assert module.line(0) == ""
+        assert module.line(10_000) == ""

@@ -1,0 +1,80 @@
+"""The scripts/lint.py command-line interface."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+LINT = REPO_ROOT / "scripts" / "lint.py"
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def run_cli(*args: str):
+    return subprocess.run(
+        [sys.executable, str(LINT), *args],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_list_rules():
+    result = run_cli("--list-rules")
+    assert result.returncode == 0
+    for rule_id in ("REPRO101", "REPRO104", "REPRO107"):
+        assert rule_id in result.stdout
+
+
+def test_check_exits_nonzero_on_violations():
+    result = run_cli("--check", str(FIXTURES / "determinism" / "bad_clocks.py"))
+    assert result.returncode == 1
+    assert "REPRO103" in result.stdout
+
+
+def test_check_exits_zero_on_clean_target():
+    result = run_cli("--check", str(FIXTURES / "determinism" / "good_seeded.py"))
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "0 violations" in result.stdout
+
+
+def test_json_format_and_output_file(tmp_path):
+    out = tmp_path / "report.json"
+    result = run_cli(
+        "--format",
+        "json",
+        "--output",
+        str(out),
+        str(FIXTURES / "imports" / "bad_imports.py"),
+    )
+    assert result.returncode == 0  # no --check: reporting only
+    payload = json.loads(out.read_text())
+    assert payload["ok"] is False
+    assert payload["violations"][0]["rule_id"] == "REPRO107"
+
+
+def test_select_runs_only_named_rules():
+    result = run_cli(
+        "--select",
+        "determinism",
+        str(FIXTURES / "typed" / "bad_untyped.py"),
+    )
+    assert result.returncode == 0
+    assert "0 violations" in result.stdout
+    assert "1 rules" in result.stdout
+
+
+def test_ignore_skips_named_rules():
+    result = run_cli(
+        "--check",
+        "--ignore",
+        "REPRO106",
+        str(FIXTURES / "typed" / "bad_untyped.py"),
+    )
+    assert result.returncode == 0, result.stdout
+
+
+def test_unknown_rule_token_is_a_usage_error():
+    result = run_cli("--select", "REPRO999", str(FIXTURES))
+    assert result.returncode == 2
+    assert "unknown rule" in result.stderr

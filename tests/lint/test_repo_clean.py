@@ -1,0 +1,22 @@
+"""The dogfooding gate: the engine's own sources lint clean.
+
+This is the local, always-on equivalent of CI's ``scripts/lint.py
+--check`` job: any regression against the engine invariants (a planner
+heap read, an unseeded random, a slotless hot-path class, a signature
+gap) fails the ordinary test run, not just the push.
+"""
+
+from pathlib import Path
+
+from repro.lint import LintEngine, all_rules, render_text
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def test_src_repro_lints_clean():
+    engine = LintEngine(REPO_ROOT, rules=all_rules())
+    report = engine.run([SRC])
+    assert report.ok, "\n" + render_text(report)
+    assert report.files_checked > 50  # the whole package was really scanned
+    assert len(report.rules_run) == 7

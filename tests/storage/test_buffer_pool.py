@@ -130,7 +130,7 @@ class TestAccessRun:
                     hits += 1
             assert run_pool.access_run(file_name, pages) == hits
         assert run_disk.counters == per_disk.counters
-        assert vars(run_pool.stats) == vars(per_pool.stats)
+        assert run_pool.stats == per_pool.stats
         assert run_pool._frames == per_pool._frames
 
     def test_consecutive_miss_run(self):
