@@ -1,0 +1,100 @@
+"""Partition pruning: page savings and planner purity (counter-based).
+
+Pins the acceptance floor of the partitioned-storage layer: a partition-key
+predicate over an 8-way partitioned table must read **at most 1/4** of the
+pages an unpartitioned sequential scan reads (it actually reads ~1/8 -- the
+floor leaves headroom for page-rounding effects at other scales), and plan
+enumeration over partitioned tables -- pruning included -- must perform
+zero heap page reads, exactly like the single-table planner.
+"""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.partition import PartitionSpec
+from repro.engine.predicates import Between, Equals, InSet
+from repro.engine.query import Aggregate, Query
+
+NUM_ROWS = 20_000
+NUM_CATS = 64
+PARTITIONS = 8
+
+#: The acceptance floor: pruned scan pages / unpartitioned scan pages.
+PRUNING_PAGE_RATIO_FLOOR = 0.25
+
+
+def build_rows():
+    rows = []
+    for i in range(NUM_ROWS):
+        rows.append(
+            {
+                "itemid": i,
+                "catid": (i * 11) % NUM_CATS,
+                "price": float((i * 37) % 10_000),
+                "qty": i % 20,
+            }
+        )
+    return rows
+
+
+@pytest.fixture(scope="module")
+def databases():
+    """The same rows flat and 8-way hash-partitioned on catid."""
+    rows = build_rows()
+    flat = Database(buffer_pool_pages=600)
+    flat.create_table("items", sample_row=rows[0], tups_per_page=50)
+    flat.load("items", rows)
+    part = Database(buffer_pool_pages=600)
+    part.create_table(
+        "items",
+        sample_row=rows[0],
+        tups_per_page=50,
+        partition_by=PartitionSpec.by_hash("catid", PARTITIONS),
+    )
+    part.load("items", rows)
+    return flat, part
+
+
+def test_partition_key_predicate_reads_quarter_of_the_pages(databases):
+    flat, part = databases
+    query = Query.select("items", Equals("catid", 7), aggregate=Aggregate.count())
+    flat.reset_measurements()
+    base = flat.run_query(query, force="seq_scan", cold_cache=True)
+    part.reset_measurements()
+    pruned = part.run_query(query, cold_cache=True)
+    assert pruned.value == base.value
+    assert base.pages_visited > 0
+    ratio = pruned.pages_visited / base.pages_visited
+    assert ratio <= PRUNING_PAGE_RATIO_FLOOR, (
+        f"pruned scan read {pruned.pages_visited}/{base.pages_visited} pages "
+        f"(ratio {ratio:.3f} > {PRUNING_PAGE_RATIO_FLOOR})"
+    )
+
+
+def partition_heap_reads(db):
+    table = db.table("items")
+    return sum(p.heap.logical_page_reads for p in table.partitions)
+
+
+PLANNING_QUERIES = [
+    Query.select("items", Equals("catid", 7)),
+    Query.select("items", InSet("catid", [3, 17, 41])),
+    Query.select("items", Between("price", 1_000, 2_000)),
+    Query.select("items", aggregate=Aggregate.count()),
+    Query.select("items", Equals("catid", 7), aggregate=Aggregate.avg("price")),
+]
+
+
+def test_partitioned_planning_performs_zero_heap_page_reads(databases):
+    _flat, part = databases
+    table = part.table("items")
+    before = partition_heap_reads(part)
+    device_snaps = [device.snapshot() for device in table.devices]
+    for query in PLANNING_QUERIES:
+        part.planner.candidate_partitioned_plans(table, query)
+        part.planner.choose_partitioned(table, query)
+        part.planner.choose_partitioned(table, query, limit=5)
+        table.prune(query.predicates)
+    assert partition_heap_reads(part) == before
+    for device, snap in zip(table.devices, device_snaps):
+        assert device.window_since(snap).pages_read == 0

@@ -44,6 +44,7 @@ from repro.core.cost import (
 from repro.core.model import CorrelationProfile, HardwareParameters, TableProfile
 from repro.engine.database import Database
 from repro.engine.executor import DEFAULT_BATCH_SIZE, RowBatch
+from repro.engine.partition import PartitionSpec
 from repro.engine.predicates import Between, Equals, InSet, PredicateSet
 from repro.engine.query import Aggregate, JoinSpec, Query, QueryResult
 
@@ -57,6 +58,7 @@ __all__ = [
     "QueryResult",
     "JoinSpec",
     "Aggregate",
+    "PartitionSpec",
     "Equals",
     "InSet",
     "Between",

@@ -30,6 +30,7 @@ from repro.engine.executor import (
     PlanNode,
     RowBatch,
 )
+from repro.engine.partition import PartitionedTable, PartitionSpec
 from repro.engine.planner import Planner
 from repro.engine.predicates import Predicate, PredicateSet
 from repro.engine.query import Query, QueryResult
@@ -104,7 +105,7 @@ class Database:
         #: periodic refresh policy (the default -- the incremental updates
         #: are exact while the sample is complete).
         self.stats_refresh_ops = stats_refresh_ops
-        self.tables: dict[str, Table] = {}
+        self.tables: dict[str, Table | PartitionedTable] = {}
 
     # -- DDL ---------------------------------------------------------------------
 
@@ -116,8 +117,16 @@ class Database:
         schema: TableSchema | None = None,
         sample_row: Mapping[str, Any] | None = None,
         tups_per_page: int | None = None,
-    ) -> Table:
-        """Create a table from a schema, a column list, or an example row."""
+        partition_by: PartitionSpec | None = None,
+    ) -> Table | PartitionedTable:
+        """Create a table from a schema, a column list, or an example row.
+
+        ``partition_by`` creates the table range- or hash-partitioned on the
+        spec's key instead: one child heap per partition, each on its own
+        simulated device (see :class:`~repro.engine.partition.
+        PartitionedTable`).  Queries over it plan through partition pruning
+        and an exchange fan-out; loads and inserts route rows by the key.
+        """
         if name in self.tables:
             raise ValueError(f"table {name!r} already exists")
         if schema is None:
@@ -127,6 +136,18 @@ class Database:
                 schema = TableSchema.from_columns(name, columns)
             else:
                 raise ValueError("provide a schema, columns, or a sample row")
+        if partition_by is not None:
+            partitioned = PartitionedTable(
+                schema,
+                partition_by,
+                self.disk,
+                buffer_pool_pages=self.buffer_pool.capacity_pages,
+                tups_per_page=tups_per_page,
+                stats_sample_size=self.stats_sample_size,
+                stats_refresh_ops=self.stats_refresh_ops,
+            )
+            self.tables[name] = partitioned
+            return partitioned
         table = Table(
             schema,
             self.buffer_pool,
@@ -138,11 +159,14 @@ class Database:
         return table
 
     def drop_table(self, name: str) -> None:
-        self.table(name)  # raises if missing
-        self.buffer_pool.drop_file(name)
+        target = self.table(name)
+        if isinstance(target, PartitionedTable):
+            target.drop_caches()
+        else:
+            self.buffer_pool.drop_file(name)
         del self.tables[name]
 
-    def table(self, name: str) -> Table:
+    def table(self, name: str) -> Table | PartitionedTable:
         if name not in self.tables:
             raise KeyError(f"unknown table {name!r}")
         return self.tables[name]
@@ -159,7 +183,9 @@ class Database:
 
     def create_secondary_index(
         self, table: str, attributes: Sequence[str] | str, *, name: str | None = None
-    ) -> SecondaryIndex:
+    ) -> SecondaryIndex | None:
+        """Create a secondary index (``None`` return for partitioned tables,
+        which build one per-partition index instead of a single object)."""
         return self.table(table).create_secondary_index(attributes, name=name)
 
     def create_correlation_map(
@@ -170,7 +196,9 @@ class Database:
         bucketers: Mapping[str, Bucketer] | None = None,
         name: str | None = None,
         use_clustered_buckets: bool = True,
-    ) -> CorrelationMap:
+    ) -> CorrelationMap | None:
+        """Create a correlation map (``None`` return for partitioned tables,
+        which build one per-partition CM instead of a single object)."""
         return self.table(table).create_correlation_map(
             attributes,
             bucketers=bucketers,
@@ -191,6 +219,7 @@ class Database:
         projection: Sequence[str] | None = None,
         snapshot: Snapshot | None = None,
         transaction: Transaction | None = None,
+        parallel: int | None = None,
     ) -> QueryResult:
         """Plan and execute a query, returning rows/value plus I/O statistics.
 
@@ -218,18 +247,38 @@ class Database:
         whole matching stream (streamingly -- only the accumulator state is
         held), so ``limit``/``projection`` cannot combine with it; grouped
         aggregates accept both (the LIMIT caps the number of groups).
+
+        ``parallel=N`` (N >= 2) executes the per-partition subtrees of a
+        partitioned plan on a pool of N forked worker processes (see
+        :mod:`repro.engine.parallel`); all simulated statistics stay
+        bit-identical to the serial drain.  Plans the parallel path cannot
+        reproduce exactly (no exchange node, fewer than two surviving
+        partitions, or a LIMIT's early termination) fall back to serial.
         """
+        from repro.engine.parallel import maybe_run_parallel
+        from repro.engine.plan import exchange_devices
+
+        if parallel is not None and parallel < 1:
+            raise ValueError("parallel must be a positive worker count")
         plan = self._prepare(
             query, force=force, force_join=force_join, limit=limit, projection=projection
         )
         if cold_cache:
             self.drop_caches()
+        devices = exchange_devices(plan)
+        device_snaps = [(device, device.snapshot()) for device in devices]
         before = self.disk.snapshot()
         context = ExecutionContext(
             snapshot=self._effective_snapshot(snapshot, transaction, query)
         )
-        rows = self._drain(plan, context)
+        rows: list[dict[str, Any]] | None = None
+        if parallel is not None and parallel > 1:
+            rows = maybe_run_parallel(self, plan, context, workers=parallel)
+        if rows is None:
+            rows = self._drain(plan, context)
         io = self.disk.window_since(before)
+        for device, snap in device_snaps:
+            io = io.add(device.window_since(snap))
         return self._build_result(query, plan, rows, context, io)
 
     def _drain(self, plan: PlanNode, context: ExecutionContext) -> list[dict[str, Any]]:
@@ -436,7 +485,7 @@ class Database:
         """Plan selection for one execution: a costed physical operator tree."""
         if query.joins:
             return self.planner.choose_join(
-                self.tables,
+                self._join_tables(query),
                 query,
                 force=force,
                 force_join=force_join,
@@ -445,13 +494,41 @@ class Database:
             )
         if force_join is not None:
             raise ValueError("force_join only applies to queries with joins")
+        target = self.table(query.table)
+        if isinstance(target, PartitionedTable):
+            return self.planner.choose_partitioned(
+                target,
+                query,
+                force=force,
+                limit=limit,
+                projection=projection,
+            )
         return self.planner.choose(
-            self.table(query.table),
+            target,
             query,
             force=force,
             limit=limit,
             projection=projection,
         )
+
+    def _join_tables(self, query: Query) -> dict[str, Table]:
+        """The catalog restricted to plain tables, for join planning.
+
+        Joins over partitioned tables are not planned yet (an exchange has
+        no single heap for the join operators to rescan or probe); rejecting
+        them here keeps the error message actionable.
+        """
+        for name in query.tables:
+            if isinstance(self.table(name), PartitionedTable):
+                raise ValueError(
+                    f"table {name!r} is partitioned: joins over partitioned "
+                    "tables are not supported yet"
+                )
+        return {
+            name: table
+            for name, table in self.tables.items()
+            if isinstance(table, Table)
+        }
 
     def _validate_query(self, query: Query, projection: Sequence[str] | None) -> None:
         """Check table names, column collisions and the projection.
@@ -544,12 +621,18 @@ class Database:
         self._validate_query(query, query.projection)
         if query.joins:
             plans = self.planner.candidate_join_plans(
-                self.tables, query, limit=query.limit
+                self._join_tables(query), query, limit=query.limit
             )
         else:
-            plans = self.planner.candidate_plans(
-                self.table(query.table), query, limit=query.limit
-            )
+            target = self.table(query.table)
+            if isinstance(target, PartitionedTable):
+                plans = self.planner.candidate_partitioned_plans(
+                    target, query, limit=query.limit
+                )
+            else:
+                plans = self.planner.candidate_plans(
+                    target, query, limit=query.limit
+                )
         return [
             {
                 "method": plan.method,
@@ -614,17 +697,22 @@ class Database:
 
         Rows are committed in batches (``batch_size=None`` commits once at the
         end), which is the data-warehouse loading pattern of Experiment 3.
+
+        On a partitioned table each row routes to its partition's heap (and
+        device); WAL maintenance logs the routed partition's CM updates,
+        and per-partition device windows fold into the reported statistics.
         """
         target = self.table(table)
         rows = list(rows)
         before = self.disk.snapshot()
+        device_snaps = self._device_snapshots(target)
         pool_before = self.buffer_pool.stats.dirty_evictions
         affected = 0
         transaction = self.transactions.begin()
         for row in rows:
             rid = target.insert_row(row)
             transaction.log("insert", {"table": table, "rid": (rid.page_no, rid.slot)})
-            for cm in target.correlation_maps.values():
+            for cm in self._maintained_cms(target, row):
                 transaction.log("cm_update", {"cm": cm.name}, size_bytes=32)
             affected += 1
             if batch_size and affected % batch_size == 0:
@@ -632,7 +720,7 @@ class Database:
                 transaction = self.transactions.begin()
         if not transaction.closed and transaction.records:
             transaction.commit(two_phase=two_phase_commit)
-        io = self.disk.window_since(before)
+        io = self._fold_device_windows(self.disk.window_since(before), device_snaps)
         return MaintenanceResult(
             rows_affected=affected,
             elapsed_ms=io.elapsed_ms(self.disk.params),
@@ -641,6 +729,34 @@ class Database:
             dirty_evictions=self.buffer_pool.stats.dirty_evictions - pool_before,
         )
 
+    def _device_snapshots(
+        self, target: Table | PartitionedTable
+    ) -> list[tuple[DiskModel, IOBreakdown]]:
+        """Per-partition device snapshots (empty for a plain table)."""
+        if isinstance(target, PartitionedTable):
+            return [(device, device.snapshot()) for device in target.devices]
+        return []
+
+    @staticmethod
+    def _fold_device_windows(
+        io: IOBreakdown, device_snaps: Sequence[tuple[DiskModel, IOBreakdown]]
+    ) -> IOBreakdown:
+        for device, snap in device_snaps:
+            io = io.add(device.window_since(snap))
+        return io
+
+    @staticmethod
+    def _maintained_cms(
+        target: Table | PartitionedTable, row: Mapping[str, Any]
+    ) -> Sequence[CorrelationMap]:
+        """The CMs one inserted/deleted row touches (its partition's only)."""
+        if isinstance(target, PartitionedTable):
+            partition = target.partitions[
+                target.spec.partition_of(row[target.spec.key])
+            ]
+            return list(partition.correlation_maps.values())
+        return list(target.correlation_maps.values())
+
     def delete(
         self,
         table: str,
@@ -648,28 +764,55 @@ class Database:
         *,
         two_phase_commit: bool = True,
     ) -> MaintenanceResult:
-        """Delete every row matching ``predicates`` (found with a seq scan)."""
+        """Delete every row matching ``predicates`` (found with a seq scan).
+
+        On a partitioned table the search runs one partition heap at a time
+        (static pruning narrows it to the partitions the partition-key
+        predicate allows) and each victim is deleted through its partition.
+        """
         target = self.table(table)
         if not isinstance(predicates, PredicateSet):
             predicates = PredicateSet(predicates)
         before = self.disk.snapshot()
-        victims: list[RID] = [
-            rid
-            for rid, row in target.heap.scan()
-            if predicates.matches(row)
-        ]
+        device_snaps = self._device_snapshots(target)
         transaction = self.transactions.begin()
         affected = 0
-        for rid in victims:
-            row = target.delete_row(rid)
-            if row is None:
-                continue
-            transaction.log("delete", {"table": table, "rid": (rid.page_no, rid.slot)})
-            for cm in target.correlation_maps.values():
-                transaction.log("cm_update", {"cm": cm.name}, size_bytes=32)
-            affected += 1
+        if isinstance(target, PartitionedTable):
+            for index in target.prune(predicates):
+                partition = target.partitions[index]
+                victims = [
+                    rid
+                    for rid, row in partition.heap.scan()
+                    if predicates.matches(row)
+                ]
+                for rid in victims:
+                    row = target.delete_in_partition(index, rid)
+                    if row is None:
+                        continue
+                    transaction.log(
+                        "delete", {"table": table, "rid": (rid.page_no, rid.slot)}
+                    )
+                    for cm in partition.correlation_maps.values():
+                        transaction.log("cm_update", {"cm": cm.name}, size_bytes=32)
+                    affected += 1
+        else:
+            victims = [
+                rid
+                for rid, row in target.heap.scan()
+                if predicates.matches(row)
+            ]
+            for rid in victims:
+                row = target.delete_row(rid)
+                if row is None:
+                    continue
+                transaction.log(
+                    "delete", {"table": table, "rid": (rid.page_no, rid.slot)}
+                )
+                for cm in target.correlation_maps.values():
+                    transaction.log("cm_update", {"cm": cm.name}, size_bytes=32)
+                affected += 1
         transaction.commit(two_phase=two_phase_commit)
-        io = self.disk.window_since(before)
+        io = self._fold_device_windows(self.disk.window_since(before), device_snaps)
         return MaintenanceResult(
             rows_affected=affected,
             elapsed_ms=io.elapsed_ms(self.disk.params),
@@ -691,11 +834,21 @@ class Database:
         """
         return self.transactions.begin()
 
+    def _versioned_table(self, name: str) -> Table:
+        """The plain table MVCC writes target (partitioned: unsupported)."""
+        target = self.table(name)
+        if isinstance(target, PartitionedTable):
+            raise NotImplementedError(
+                f"table {name!r} is partitioned: MVCC writes over partitioned "
+                "tables are not supported yet"
+            )
+        return target
+
     def tx_insert(
         self, transaction: Transaction, table: str, rows: Iterable[Mapping[str, Any]]
     ) -> list[RID]:
         """Insert row versions stamped with the transaction's xid."""
-        target = self.table(table)
+        target = self._versioned_table(table)
         rids = []
         for row in rows:
             rid = target.insert_version(row, transaction.xid)
@@ -721,7 +874,7 @@ class Database:
         anything is stamped (first-updater-wins, so lost updates surface as
         errors instead of silently vanishing).
         """
-        target = self.table(table)
+        target = self._versioned_table(table)
         if not isinstance(predicates, PredicateSet):
             predicates = PredicateSet(predicates)
         snapshot = transaction.snapshot
@@ -754,7 +907,7 @@ class Database:
         target before any is written, so a conflicting update changes
         nothing.
         """
-        target = self.table(table)
+        target = self._versioned_table(table)
         if not isinstance(predicates, PredicateSet):
             predicates = PredicateSet(predicates)
         snapshot = transaction.snapshot
@@ -838,8 +991,15 @@ class Database:
     # -- cache and measurement control -------------------------------------------------------
 
     def drop_caches(self) -> None:
-        """Cold-cache the buffer pool (the paper's drop_caches between runs)."""
+        """Cold-cache every buffer pool (the paper's drop_caches between runs).
+
+        Covers the shared pool and every partition's private pool, so a
+        cold run over a partitioned table starts every device cold.
+        """
         self.buffer_pool.clear()
+        for table in self.tables.values():
+            if isinstance(table, PartitionedTable):
+                table.drop_caches()
 
     def checkpoint(self) -> int:
         """Flush all dirty pages and truncate the log; returns pages written."""
@@ -849,8 +1009,15 @@ class Database:
         return written
 
     def elapsed_ms(self) -> float:
-        """Total simulated time since the last reset."""
-        return self.disk.elapsed_ms()
+        """Total simulated time since the last reset, across every device."""
+        total = self.disk.elapsed_ms()
+        for table in self.tables.values():
+            if isinstance(table, PartitionedTable):
+                total += sum(device.elapsed_ms() for device in table.devices)
+        return total
 
     def reset_measurements(self) -> None:
         self.disk.reset()
+        for table in self.tables.values():
+            if isinstance(table, PartitionedTable):
+                table.reset_devices()

@@ -688,6 +688,149 @@ class ProjectNode(DecoratorNode):
         return ", ".join(self.columns)
 
 
+class ExchangeNode(PlanNode):
+    """Fan-out/union over the surviving partitions of a partitioned table.
+
+    One child scan subtree per partition that survived static pruning; the
+    node streams them in ascending partition order, which concatenates the
+    per-partition row streams into one.  Every child reads through its own
+    partition's private device, so the simulated counters of each subtree
+    are independent of whatever interleaving the consumer imposes -- the
+    property that keeps cooperative (quantum-interleaved) and
+    process-parallel execution bit-identical to this serial concatenation.
+
+    For process-parallel runs the owning database executes the children out
+    of line and hands the collected rows back via :meth:`set_replay`; the
+    node then emits those rows without touching its children (whose
+    counters were already folded in from the workers).
+
+    ``partitions_total``/``partitions_pruned`` record the static pruning
+    decision; :attr:`partitions_scanned` counts the children actually
+    started at runtime (a LIMIT above may stop the concatenation early),
+    which is the ``act`` half of the EXPLAIN ANALYZE rendering.
+    """
+
+    name = "exchange"
+    produces_fresh_rows = False
+
+    __slots__ = (
+        "sources",
+        "devices",
+        "partition_key",
+        "partition_method",
+        "partitions_total",
+        "partitions_pruned",
+        "partitions_scanned",
+        "_replay",
+    )
+
+    def __init__(
+        self,
+        sources: Sequence[PlanNode],
+        *,
+        devices: Sequence["DiskModel"],
+        partition_key: str,
+        partition_method: str,
+        partitions_total: int,
+    ) -> None:
+        super().__init__()
+        self.sources: tuple[PlanNode, ...] = tuple(sources)
+        #: The per-partition devices of the surviving children, in child
+        #: order.  The database snapshots these around execution to fold the
+        #: partitions' I/O into the query's reported breakdown.
+        self.devices: tuple["DiskModel", ...] = tuple(devices)
+        if len(self.devices) != len(self.sources):
+            raise ValueError("one device per partition subtree is required")
+        self.partition_key = partition_key
+        self.partition_method = partition_method
+        self.partitions_total = partitions_total
+        self.partitions_pruned = partitions_total - len(self.sources)
+        self.partitions_scanned = 0
+        self._replay: list[dict[str, Any]] | None = None
+
+    @property
+    def children(self) -> tuple[PlanNode, ...]:
+        return self.sources
+
+    def set_replay(self, rows: list[dict[str, Any]]) -> None:
+        """Emit ``rows`` instead of draining the children (parallel runs).
+
+        The caller has already executed the child subtrees elsewhere and
+        folded their counters and device windows in; this node only has to
+        reproduce the serial concatenation's output stream (the rows are
+        private dicts, so no defensive copies are taken).
+        """
+        self._replay = rows
+        self.partitions_scanned = len(self.sources)
+
+    def _stream(self, context: ExecutionContext) -> Iterator[dict[str, Any]]:
+        if self._replay is not None:
+            for row in self._replay:
+                yield context.emit(row, fresh=True)
+            return
+        self.partitions_scanned = 0
+        for source in self.sources:
+            self.partitions_scanned += 1
+            for row in source.iter_rows(context.child()):
+                yield context.emit(row)
+
+    def _stream_batches(
+        self,
+        context: ExecutionContext,
+        batch_size: int,
+        demand: int | None,
+        run_reads: bool,
+    ) -> Iterator[RowBatch]:
+        if context.limit is not None or context.projection is not None:
+            yield from PlanNode._stream_batches(
+                self, context, batch_size, demand, run_reads
+            )
+            return
+        if self._replay is not None:
+            rows = self._replay
+            for start in range(0, len(rows), batch_size):
+                yield _emit_batch(context, RowBatch(rows[start : start + batch_size]))
+            return
+        self.partitions_scanned = 0
+        remaining = demand
+        for source in self.sources:
+            self.partitions_scanned += 1
+            # Each child receives the *remaining* demand, so across the
+            # concatenation exactly as many rows are produced -- and exactly
+            # as many pages swept -- as the row-at-a-time pipeline under the
+            # same LIMIT.
+            for batch in iter_batches_of(
+                source, context.child(), batch_size, remaining, run_reads
+            ):
+                yield _emit_batch(context, batch)
+                if remaining is not None:
+                    remaining -= len(batch)
+            if remaining is not None and remaining <= 0:
+                return
+
+    def describe_detail(self) -> str:
+        return (
+            f"{self.partition_method}({self.partition_key}), "
+            f"partitions scanned est={len(self.sources)} "
+            f"act={self.partitions_scanned}, "
+            f"pruned={self.partitions_pruned}/{self.partitions_total}"
+        )
+
+
+def exchange_devices(root: PlanNode) -> list["DiskModel"]:
+    """Every partition device referenced by exchange nodes of this tree.
+
+    The database snapshots these (next to the shared device) around a run so
+    per-partition I/O folds into the query's reported breakdown; the
+    scheduler does the same per quantum.
+    """
+    devices: list["DiskModel"] = []
+    for node in root.walk():
+        if isinstance(node, ExchangeNode):
+            devices.extend(node.devices)
+    return devices
+
+
 def find_node(root: PlanNode, node_type: type) -> Any:
     """The first node of ``node_type`` in the tree (pre-order), or ``None``."""
     for node in root.walk():

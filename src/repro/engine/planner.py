@@ -97,8 +97,10 @@ from repro.engine.executor import (
     ScanNode,
     SortMergeJoin,
 )
+from repro.engine.partition import PartitionedTable
 from repro.engine.plan import (
     AggregateNode,
+    ExchangeNode,
     GroupByNode,
     LimitNode,
     ProjectNode,
@@ -108,6 +110,10 @@ from repro.engine.plan import (
 from repro.engine.predicates import Between, Equals, InSet, PredicateSet
 from repro.engine.query import Query
 from repro.engine.table import Table
+
+#: Anything the decorator layer can estimate groups over: a plain table or a
+#: partitioned one (both expose schema, cardinalities and row estimates).
+AnyTable = Table | PartitionedTable
 
 #: Names accepted by ``force=`` arguments (single-table access methods).
 FORCE_METHODS = (
@@ -398,7 +404,7 @@ class Planner:
         return True
 
     def _estimate_groups(
-        self, tables: Sequence[Table], grouping: Sequence[str], est_input_rows: float
+        self, tables: Sequence[AnyTable], grouping: Sequence[str], est_input_rows: float
     ) -> float:
         """Expected distinct group count, from the reservoir samples.
 
@@ -432,7 +438,7 @@ class Planner:
         projection: Sequence[str] | None,
         input_rows: float,
         input_ordering: Sequence[tuple[Any, bool]],
-        tables: Sequence[Table],
+        tables: Sequence[AnyTable],
         disk: DiskModel | None,
     ) -> PlanNode:
         """Stack Aggregate/GroupBy, Sort/TopK, Limit, Project over ``node``.
@@ -576,6 +582,121 @@ class Planner:
                 node.est_rows = table.estimate_matching_rows(predicates)
                 return node
         return None
+
+    # -- selection (partitioned table) ------------------------------------------------
+
+    def _partition_scan(
+        self, partition: Table, predicates: PredicateSet, force: str | None
+    ) -> ScanNode:
+        """The cheapest (or forced) bare scan over one partition child."""
+        if force == "pipelined_index_scan":
+            node = self._pipelined_plan(partition, predicates)
+            if node is None:
+                raise ValueError("no secondary index available for a pipelined scan")
+            return node
+        candidates = self._candidate_scan_plans(partition, predicates)
+        if force is not None:
+            candidates = [plan for plan in candidates if plan.method == force]
+            if not candidates:
+                raise ValueError(f"no applicable plan for forced method {force!r}")
+        return min(candidates, key=self.plan_rank)
+
+    def choose_partitioned(
+        self,
+        table: PartitionedTable,
+        query: Query,
+        *,
+        force: str | None = None,
+        limit: int | None = None,
+        projection: Sequence[str] | None = None,
+    ) -> PlanNode:
+        """Prune partitions statically, then fan one scan subtree per survivor.
+
+        Pruning consults only the partition spec and the predicate set (see
+        :meth:`repro.engine.partition.PartitionSpec.prune`) -- zero heap
+        reads, like the rest of plan enumeration.  Each surviving partition
+        gets its own cheapest (or forced) access path, chosen from that
+        partition's private statistics; the :class:`ExchangeNode` then
+        concatenates the children in ascending partition order and the usual
+        decorator stack goes on top, charged to the shared device.
+
+        Under range partitioning the concatenation preserves an ORDER BY on
+        the partition key for free whenever every child already streams in
+        key order (partition *k*'s values all precede partition *k+1*'s).
+        """
+        if force is not None and force not in FORCE_METHODS:
+            raise ValueError(f"unknown access method {force!r}")
+        if projection is None:
+            projection = query.projection
+        spec = table.spec
+        survivors = table.prune(query.predicates)
+        children = [
+            self._partition_scan(table.partitions[index], query.predicates, force)
+            for index in survivors
+        ]
+        exchange = ExchangeNode(
+            children,
+            devices=[table.devices[index] for index in survivors],
+            partition_key=spec.key,
+            partition_method=spec.method,
+            partitions_total=spec.num_partitions,
+        )
+        est_rows = sum(child.est_rows or 0.0 for child in children)
+        exchange.est_rows = est_rows
+        exchange.est_pages = sum(child.est_pages or 0.0 for child in children)
+        exchange.est_cost_ms = sum(child.est_cost_ms or 0.0 for child in children)
+        child_structures = sorted({child.structure or "?" for child in children})
+        exchange.structure = (
+            f"exchange[{spec.describe()}: {len(children)}/{spec.num_partitions} "
+            f"scanned via {', '.join(child_structures) if child_structures else 'none'}]"
+        )
+        key_order = ((spec.key, True),)
+        ordering: Sequence[tuple[Any, bool]] = ()
+        if spec.method == "range" and all(
+            self._ordering_satisfied(child.path.output_ordering(), key_order)
+            for child in children
+        ):
+            ordering = key_order
+        return self._decorate(
+            exchange,
+            query,
+            limit=limit,
+            projection=projection,
+            input_rows=est_rows,
+            input_ordering=ordering,
+            tables=[table],
+            disk=table.disk,
+        )
+
+    def candidate_partitioned_plans(
+        self,
+        table: PartitionedTable,
+        query: Query,
+        *,
+        limit: int | None = None,
+        projection: Sequence[str] | None = None,
+    ) -> list[PlanNode]:
+        """Every distinct partitioned plan shape, for ``Database.explain``.
+
+        The unforced choice (which may mix access methods across partitions)
+        comes first, followed by each uniformly-forced shape that applies;
+        structurally identical trees are listed once.
+        """
+        plans = [
+            self.choose_partitioned(table, query, limit=limit, projection=projection)
+        ]
+        seen = {plans[0].structure}
+        for method in FORCE_METHODS:
+            try:
+                plan = self.choose_partitioned(
+                    table, query, force=method, limit=limit, projection=projection
+                )
+            except ValueError:
+                continue
+            if plan.structure not in seen:
+                seen.add(plan.structure)
+                plans.append(plan)
+        return plans
 
     #: Tie-break order when estimated costs are equal (which happens when all
     #: alternatives clamp to the scan cost on small tables): prefer the more

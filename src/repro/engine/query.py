@@ -167,6 +167,42 @@ class GroupedAccumulators:
             for key, count in Counter(keys).items():
                 counts[key] = cget(key, 0) + count
 
+    def partial_state(self) -> tuple[dict[Any, int], dict[Any, Any]]:
+        """The mergeable state for partition-parallel aggregation.
+
+        Returns the per-group counts plus the per-group running sums (or
+        the per-group distinct-value sets for ``count_distinct``) -- plain
+        dicts that cross a process boundary and merge via
+        :meth:`absorb_partial`.
+        """
+        if self._kind == "count_distinct":
+            return dict(self._counts), {
+                key: set(values) for key, values in self._distinct.items()
+            }
+        return dict(self._counts), dict(self._sums)
+
+    def absorb_partial(
+        self, counts: Mapping[Any, int], partials: Mapping[Any, Any]
+    ) -> None:
+        """Merge one partition's :meth:`partial_state` into this state.
+
+        Absorbing partitions in ascending order reproduces the serial
+        first-seen group order.  Count and distinct merges are exact;
+        per-group *float* sums may differ from the serial fold in their
+        last ulps (the standard parallel-aggregation caveat).
+        """
+        own_counts = self._counts
+        for key, count in counts.items():
+            own_counts[key] = own_counts.get(key, 0) + count
+        if self._kind == "count_distinct":
+            distinct = self._distinct
+            for key, values in partials.items():
+                distinct[key].update(values)
+        else:
+            sums = self._sums
+            for key, partial in partials.items():
+                sums[key] = sums.get(key, 0) + partial
+
     def results(self) -> Sequence[tuple[Any, Any]]:
         """``(group key, aggregate value)`` pairs in first-seen key order."""
         kind = self._kind

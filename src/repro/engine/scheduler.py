@@ -50,15 +50,31 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
 from repro.engine.executor import DEFAULT_BATCH_SIZE, ExecutionContext, RowBatch
+from repro.engine.plan import exchange_devices
 from repro.engine.query import Query, QueryResult
 from repro.engine.transactions import Snapshot, Transaction
-from repro.storage.disk import IOBreakdown
+from repro.storage.disk import DiskModel, IOBreakdown
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.database import Database
 
 #: Scheduling policies :class:`QueryScheduler` understands.
 POLICIES = ("fair", "priority")
+
+def _window_since(
+    devices: Sequence[DiskModel], snapshots: Sequence[IOBreakdown]
+) -> IOBreakdown:
+    """Sum the I/O windows of ``devices`` since their paired ``snapshots``.
+
+    Partitioned plans charge their reads to per-partition devices, not the
+    shared disk, so a quantum's window must fold every device the plan can
+    touch to attribute interleaved I/O correctly.
+    """
+    window = IOBreakdown()
+    for device, snapshot in zip(devices, snapshots):
+        window = window.add(device.window_since(snapshot))
+    return window
+
 
 #: Lifecycle states of a :class:`ScheduledQuery`.
 WAITING = "waiting"
@@ -317,6 +333,7 @@ class QueryScheduler:
         """
         db = self.database
         assert entry._iterator is not None and entry.plan is not None
+        devices: tuple[DiskModel, ...] = (db.disk, *exchange_devices(entry.plan))
         entry.quanta += 1
         batches = rows = 0
         pages = 0
@@ -325,19 +342,19 @@ class QueryScheduler:
         collect = entry.rows.extend
         while True:
             pages_before = entry.plan.total_counters().pages_visited
-            before = db.disk.snapshot()
+            before = [device.snapshot() for device in devices]
             try:
                 batch = next(entry._iterator)
             except StopIteration:
-                entry.io = entry.io.add(db.disk.window_since(before))
+                entry.io = entry.io.add(_window_since(devices, before))
                 finished = True
                 break
             except Exception as exc:  # noqa: BLE001 - reported on the entry
-                entry.io = entry.io.add(db.disk.window_since(before))
+                entry.io = entry.io.add(_window_since(devices, before))
                 entry.error = exc
                 failed = True
                 break
-            window = db.disk.window_since(before)
+            window = _window_since(devices, before)
             entry.io = entry.io.add(window)
             entry.batches += 1
             batches += 1

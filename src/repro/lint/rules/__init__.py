@@ -4,6 +4,7 @@ from repro.lint.rules import (  # noqa: F401
     determinism,
     imports,
     parity_accounting,
+    partition_accounting,
     planner_purity,
     scheduler_safety,
     slots,

@@ -192,6 +192,21 @@ class IOTracker:
     def record_cpu_tuples(self, count: int) -> None:
         self.counters.cpu_tuples += count
 
+    def head_position(self) -> tuple[str | None, int | None]:
+        """The simulated head position ``(file, page)`` (``(None, None)`` parked)."""
+        return (self._last_file, self._last_page)
+
+    def set_head_position(self, file_name: str | None, page_no: int | None) -> None:
+        """Restore a head position captured by :meth:`head_position`.
+
+        Used when replaying I/O performed elsewhere (a forked parallel
+        worker) onto this tracker: the counters are folded in separately,
+        and the head must land where the replayed accesses left it so every
+        *later* sequential/random classification matches a serial run.
+        """
+        self._last_file = file_name
+        self._last_page = page_no
+
     def snapshot(self) -> IOBreakdown:
         return self.counters.copy()
 
@@ -252,6 +267,19 @@ class DiskModel:
 
     def elapsed_since(self, snapshot: IOBreakdown) -> float:
         return self.window_since(snapshot).elapsed_ms(self.params)
+
+    def absorb(
+        self, window: IOBreakdown, head: tuple[str | None, int | None]
+    ) -> None:
+        """Fold I/O performed on a forked copy of this device back in.
+
+        A process-parallel worker inherits this device by fork, performs its
+        partition's accesses on the copy, and ships back the counter delta
+        plus the final head position.  Replaying both here leaves the parent
+        tracker exactly as if the accesses had run in this process.
+        """
+        self.tracker.counters = self.tracker.counters.add(window)
+        self.tracker.set_head_position(*head)
 
     def reset(self) -> None:
         self.tracker.reset()

@@ -17,11 +17,13 @@ The tier-1 corpus is small (see ``--fuzz-iterations`` in the root
     PYTHONPATH=src python -m pytest tests/engine/test_fuzz_parity.py --fuzz-iterations 500
 """
 
+import math
 import random
 
 import pytest
 
 from repro.engine.database import Database
+from repro.engine.partition import PartitionSpec
 from repro.engine.predicates import Between, Equals, InSet
 from repro.engine.query import Aggregate, Query
 
@@ -201,6 +203,246 @@ def test_fuzz_batch_parity(fuzz_database, fuzz_seed):
             )
     finally:
         db.batch_size = original
+
+
+# ---------------------------------------------------------------------------
+# Partitioned storage: the same contract across layouts and execution modes
+# ---------------------------------------------------------------------------
+
+#: Partition layouts the partition fuzzer samples -- including the
+#: degenerate single partition, on both methods.
+PARTITION_LAYOUTS = tuple(
+    f"{method}{count}" for method in ("hash", "range") for count in (1, 2, 4, 8)
+)
+
+
+def _partition_spec(label):
+    method, count = label.rstrip("0123456789"), int(label.lstrip("hasrnge"))
+    if method == "hash":
+        return PartitionSpec.by_hash("catid", count)
+    boundaries = [NUM_CATEGORIES * i // count for i in range(1, count)]
+    return PartitionSpec.by_range("catid", boundaries)
+
+
+@pytest.fixture(scope="module")
+def partitioned_databases():
+    """The fuzz items table under every partition layout (plus price index)."""
+    rows = build_fuzz_rows()
+    databases = {}
+    for label in PARTITION_LAYOUTS:
+        db = Database(buffer_pool_pages=400)
+        db.create_table(
+            "items",
+            sample_row=rows[0],
+            tups_per_page=40,
+            partition_by=_partition_spec(label),
+        )
+        db.load("items", rows)
+        db.create_secondary_index("items", "price")
+        databases[label] = db
+    return databases
+
+
+def generate_partition_query(seed):
+    """One random single-table query plus a layout and execution modes."""
+    rng = random.Random(seed + 777_000)
+    predicates = _random_predicates(rng)
+    shape = rng.choice(["plain", "plain", "scalar", "grouped"])
+    kwargs = {}
+    if shape == "scalar":
+        kwargs["aggregate"] = _random_aggregate(rng)
+    elif shape == "grouped":
+        group = rng.choice([("catid",), ("cat2",), ("catid", "cat2")])
+        kwargs["aggregate"] = rng.choice(
+            [Aggregate.count(), Aggregate.avg("price"), Aggregate.sum("qty")]
+        )
+        kwargs["group_by"] = group
+        if rng.random() < 0.4:
+            kwargs["limit"] = rng.choice([0, 1, 3, 10])
+    else:
+        if rng.random() < 0.4:
+            kwargs["projection"] = rng.sample(
+                ["itemid", "catid", "cat2", "price", "qty"], rng.randrange(1, 4)
+            )
+        if rng.random() < 0.5:
+            order_columns = rng.sample(["price", "itemid", "catid", "qty"], 2)
+            kwargs["order_by"] = [
+                column if rng.random() < 0.5 else f"-{column}"
+                for column in order_columns
+            ]
+        if rng.random() < 0.4:
+            kwargs["limit"] = rng.choice([0, 1, 5, 37, 500])
+    query = Query.select("items", *predicates, name=f"pfuzz_{seed}", **kwargs)
+    label = rng.choice(PARTITION_LAYOUTS)
+    batch_sizes = rng.sample(BATCH_SIZES, 2)
+    workers = rng.choice([None, 2, 3])
+    return query, label, batch_sizes, workers
+
+
+def _values_close(left, right):
+    """Exact for ints/strings/None; last-ulp tolerance for float sums.
+
+    Partitioning (and parallel partial merging) reorders float additions,
+    so sums/averages may drift in the last ulps across layouts and
+    execution modes -- every *counter* still matches bit for bit.
+    """
+    if isinstance(left, float) and isinstance(right, float):
+        return math.isclose(left, right, rel_tol=1e-9, abs_tol=1e-12)
+    return left == right
+
+
+def _user_columns(row):
+    """Drop internal bookkeeping columns (e.g. the clustering ``_cm_bucket``)."""
+    return {key: value for key, value in row.items() if not key.startswith("_")}
+
+
+def _stable_key(row):
+    """Deterministic sort key over all columns.
+
+    Non-float columns come first so possibly ulp-drifted float aggregates
+    never decide the primary order (grouped rows are already unique on
+    their group keys); the float tiebreaker only matters for plain rows,
+    whose stored float values are bit-exact across layouts.
+    """
+    exact = tuple(
+        (key, value)
+        for key, value in sorted(row.items())
+        if not isinstance(value, float)
+    )
+    floats = tuple(
+        (key, repr(value))
+        for key, value in sorted(row.items())
+        if isinstance(value, float)
+    )
+    return exact, floats
+
+
+def _rows_close(left_rows, right_rows, *, same_order):
+    if len(left_rows) != len(right_rows):
+        return False
+    left_rows = [_user_columns(row) for row in left_rows]
+    right_rows = [_user_columns(row) for row in right_rows]
+    if not same_order:
+        left_rows = sorted(left_rows, key=_stable_key)
+        right_rows = sorted(right_rows, key=_stable_key)
+    for left, right in zip(left_rows, right_rows):
+        if sorted(left) != sorted(right):
+            return False
+        if not all(_values_close(left[column], right[column]) for column in left):
+            return False
+    return True
+
+
+def assert_layouts_equivalent(flat, part, *, context):
+    """Partitioned result content matches the single-heap run.
+
+    Physical page counts legitimately differ (per-partition heaps round up
+    to whole pages; pruning *reduces* rows examined), and row order under a
+    partial ORDER BY or no ORDER BY differs, so this asserts result
+    equivalence: matched-row count, aggregate value (float-tolerant), and
+    -- without a LIMIT, which makes the kept subset layout-dependent --
+    the full sorted row multiset.
+    """
+    assert part.rows_matched == flat.rows_matched, context
+    assert part.rewritten_sql == flat.rewritten_sql, context
+    if flat.query.aggregate is not None and not flat.query.grouping:
+        assert _values_close(part.value, flat.value), context
+        return
+    if flat.query.limit is not None:
+        return
+    assert _rows_close(part.rows, flat.rows, same_order=False), context
+
+
+def assert_modes_identical(reference, candidate, *, context):
+    """Serial/batched/parallel runs of one partitioned layout: bit-identical.
+
+    Everything simulated must match exactly -- counters, the full I/O
+    breakdown including the sequential/random split, and elapsed time.
+    The single tolerated drift is float aggregate values under parallel
+    partial merging (see :func:`_values_close`); rows keep their order.
+    """
+    assert candidate.access_method == reference.access_method, context
+    assert candidate.rows_examined == reference.rows_examined, context
+    assert candidate.rows_matched == reference.rows_matched, context
+    assert candidate.rows_emitted == reference.rows_emitted, context
+    assert candidate.pages_visited == reference.pages_visited, context
+    assert candidate.join_probes == reference.join_probes, context
+    assert candidate.io == reference.io, context
+    assert candidate.elapsed_ms == reference.elapsed_ms, context
+    assert candidate.rewritten_sql == reference.rewritten_sql, context
+    assert _values_close(candidate.value, reference.value), context
+    assert _rows_close(candidate.rows, reference.rows, same_order=True), context
+
+
+def run_partitioned(db, query, batch_size, *, parallel=None):
+    """Execute one partitioned mode from an identical cold start."""
+    db.batch_size = batch_size
+    db.reset_measurements()
+    return db.run_query(query, cold_cache=True, parallel=parallel)
+
+
+def test_fuzz_partition_parity(fuzz_database, partitioned_databases, fuzz_seed):
+    query, label, batch_sizes, workers = generate_partition_query(fuzz_seed)
+    flat = fuzz_database
+    part = partitioned_databases[label]
+    flat_original, part_original = flat.batch_size, part.batch_size
+    try:
+        flat_reference = run_mode(flat, query, None, None)
+        reference = run_partitioned(part, query, None)
+        context = (
+            f"seed={fuzz_seed} layout={label} workers={workers} "
+            f"query={query.describe()}"
+        )
+        assert_layouts_equivalent(flat_reference, reference, context=context)
+        for batch_size in batch_sizes:
+            candidate = run_partitioned(part, query, batch_size)
+            assert_modes_identical(
+                reference, candidate, context=f"{context} batch_size={batch_size}"
+            )
+        if workers is not None:
+            for batch_size in (None, batch_sizes[0]):
+                candidate = run_partitioned(
+                    part, query, batch_size, parallel=workers
+                )
+                assert_modes_identical(
+                    reference,
+                    candidate,
+                    context=f"{context} parallel batch_size={batch_size}",
+                )
+    finally:
+        flat.batch_size = flat_original
+        part.batch_size = part_original
+
+
+def test_partition_corpus_covers_every_shape():
+    """The partition corpus keeps exercising layouts, parallelism and shapes."""
+    counters = {
+        "hash": 0,
+        "range": 0,
+        "multiway": 0,
+        "parallel": 0,
+        "scalar": 0,
+        "grouped": 0,
+        "pruning_predicate": 0,
+    }
+    for seed in range(24):
+        query, label, _batch_sizes, workers = generate_partition_query(seed)
+        if label.startswith("hash"):
+            counters["hash"] += 1
+        if label.startswith("range"):
+            counters["range"] += 1
+        if int(label.lstrip("hasrnge")) > 1:
+            counters["multiway"] += 1
+        if workers is not None:
+            counters["parallel"] += 1
+        if query.aggregate is not None and not query.grouping:
+            counters["scalar"] += 1
+        if query.grouping:
+            counters["grouped"] += 1
+        if query.predicates.on_attribute("catid"):
+            counters["pruning_predicate"] += 1
+    missing = [shape for shape, count in counters.items() if count == 0]
+    assert not missing, f"partition corpus never generates: {missing}"
 
 
 def test_corpus_covers_every_shape():

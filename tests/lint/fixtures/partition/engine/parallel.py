@@ -1,0 +1,10 @@
+"""Good fixture: the real fan-out shape -- orchestrate scans, never read."""
+
+
+def run_partition_child(exchange, index, context):  # noqa: fixtures skip typed-defs
+    child = exchange.sources[index]
+    device = exchange.devices[index]
+    before = device.snapshot()
+    rows = [dict(row) for row in child.iter_rows(context.child())]
+    window = device.window_since(before)
+    return rows, window

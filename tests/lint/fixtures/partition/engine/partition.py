@@ -1,0 +1,9 @@
+"""Bad fixture: partition fan-out that pulls pages and pool entries itself."""
+
+
+def rogue_partition_scan(partition, predicates):  # noqa: fixtures skip typed-defs
+    for page in partition.heap.read_pages(range(partition.heap.num_pages)):
+        yield from page.rows
+    row = partition.heap.fetch((0, 0))  # line 7: REPRO108 (heap read)
+    partition.pool.access(partition.name, 0)  # line 8: REPRO108 (pool access)
+    return row

@@ -139,7 +139,7 @@ class TestReporters:
         lines = text.splitlines()
         assert lines[0].startswith("imports/bad_imports.py:3:")
         assert "REPRO107[unused-import]" in lines[0]
-        assert lines[-1].endswith("(1 files, 7 rules)")
+        assert lines[-1].endswith("(1 files, 8 rules)")
 
     def test_json_report_round_trips(self):
         report = run_fixture("imports/bad_imports.py")

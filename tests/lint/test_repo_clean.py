@@ -19,4 +19,4 @@ def test_src_repro_lints_clean():
     report = engine.run([SRC])
     assert report.ok, "\n" + render_text(report)
     assert report.files_checked > 50  # the whole package was really scanned
-    assert len(report.rules_run) == 7
+    assert len(report.rules_run) == 8

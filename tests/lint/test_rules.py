@@ -124,12 +124,29 @@ class TestUnusedImports:
         assert findings("REPRO107", "imports/good_imports.py") == []
 
 
+class TestPartitionAccounting:
+    def test_bad_fixture_exact_findings(self):
+        assert findings("REPRO108", "partition/engine/partition.py") == [
+            ("partition/engine/partition.py", 5),  # read_pages in fan-out
+            ("partition/engine/partition.py", 7),  # fetch in fan-out
+            ("partition/engine/partition.py", 8),  # buffer-pool access
+        ]
+
+    def test_orchestration_shape_clean(self):
+        assert findings("REPRO108", "partition/engine/parallel.py") == []
+
+    def test_out_of_scope_module_ignored(self):
+        # The same page reads outside the fan-out modules are REPRO102's
+        # business (scoped to its own kernel-module rules), not REPRO108's.
+        assert findings("REPRO108", "parity/engine/bad_kernel.py") == []
+
+
 def test_every_rule_has_a_failing_fixture():
     """The acceptance criterion: each custom rule trips on some fixture."""
     engine = LintEngine(FIXTURES, rules=all_rules())
     report = engine.run([FIXTURES])
     tripped = {violation.rule_id for violation in report.violations}
-    expected = {f"REPRO10{n}" for n in range(1, 8)}
+    expected = {f"REPRO10{n}" for n in range(1, 9)}
     assert expected <= tripped
 
 
