@@ -34,8 +34,11 @@ sys.path.insert(
 
 from repro.bench.partition import (  # noqa: E402 (path bootstrap above)
     FLAGSHIP_SCENARIO,
+    JOIN_SCENARIO,
+    MERGE_SIMULATED_RATIO_FLOOR,
     MIN_CORES_FOR_FLOOR,
     MIN_SERIAL_SECONDS,
+    ORDERED_MERGE_SCENARIO,
     PARALLEL_SPEEDUP_FLOOR,
     PRUNING_PAGE_RATIO_FLOOR,
     PartitionBenchConfig,
@@ -98,7 +101,9 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"\nwrote {args.output} (pruning ratio "
         f"{summary['pruning_page_ratio']}, parallel speedup "
-        f"{summary['parallel_speedup']}x on {report['cpu_count']} cores)"
+        f"{summary['parallel_speedup']}x, join speedup "
+        f"{summary['join_speedup']}x, merge simulated ratio "
+        f"{summary['merge_simulated_ratio']} on {report['cpu_count']} cores)"
     )
 
     if not args.check:
@@ -115,35 +120,54 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         failed = True
-    cores = os.cpu_count() or 1
-    speedup = summary["parallel_speedup"]
-    flagship = report["scenarios"].get(FLAGSHIP_SCENARIO)
-    serial_seconds = flagship["serial_seconds"] if flagship else None
-    if not FORK_AVAILABLE:
+    merge_ratio = summary["merge_simulated_ratio"]
+    if merge_ratio is not None and merge_ratio > MERGE_SIMULATED_RATIO_FLOOR:
         print(
-            "skipping the parallel wall-clock floor: fork start method "
-            "unavailable on this platform"
-        )
-    elif cores < MIN_CORES_FOR_FLOOR:
-        print(
-            f"skipping the parallel wall-clock floor ({PARALLEL_SPEEDUP_FLOOR}x "
-            f"on {FLAGSHIP_SCENARIO}): runner has {cores} cores, "
-            f"needs >= {MIN_CORES_FOR_FLOOR}"
-        )
-    elif serial_seconds is not None and serial_seconds < MIN_SERIAL_SECONDS:
-        print(
-            f"skipping the parallel wall-clock floor: flagship serial run "
-            f"took {serial_seconds:.4f}s < {MIN_SERIAL_SECONDS}s, too short "
-            "to amortise pool startup -- raise --scale for a meaningful gate"
-        )
-    elif speedup is not None and speedup < PARALLEL_SPEEDUP_FLOOR:
-        print(
-            f"ERROR: parallel speedup {speedup}x on {FLAGSHIP_SCENARIO} is "
-            f"below the {PARALLEL_SPEEDUP_FLOOR}x floor on a {cores}-core "
-            "runner",
+            f"ERROR: ordered-merge simulated cost ratio {merge_ratio} on "
+            f"{ORDERED_MERGE_SCENARIO} exceeds the non-regression floor "
+            f"{MERGE_SIMULATED_RATIO_FLOOR} (machine-independent)",
             file=sys.stderr,
         )
         failed = True
+    cores = os.cpu_count() or 1
+    floors = [
+        (FLAGSHIP_SCENARIO, summary["parallel_speedup"]),
+        (JOIN_SCENARIO, summary["join_speedup"]),
+    ]
+    if not FORK_AVAILABLE:
+        print(
+            "skipping the parallel wall-clock floors: fork start method "
+            "unavailable on this platform"
+        )
+    elif cores < MIN_CORES_FOR_FLOOR:
+        names = ", ".join(name for name, _speedup in floors)
+        print(
+            f"skipping the parallel wall-clock floors ({PARALLEL_SPEEDUP_FLOOR}x "
+            f"on {names}): runner has {cores} cores, "
+            f"needs >= {MIN_CORES_FOR_FLOOR}"
+        )
+    else:
+        for name, speedup in floors:
+            scenario = report["scenarios"].get(name)
+            serial_seconds = scenario["serial_seconds"] if scenario else None
+            if scenario is None or speedup is None:
+                continue
+            if serial_seconds is not None and serial_seconds < MIN_SERIAL_SECONDS:
+                print(
+                    f"skipping the parallel wall-clock floor on {name}: serial "
+                    f"run took {serial_seconds:.4f}s < {MIN_SERIAL_SECONDS}s, "
+                    "too short to amortise pool startup -- raise --scale for "
+                    "a meaningful gate"
+                )
+                continue
+            if speedup < PARALLEL_SPEEDUP_FLOOR:
+                print(
+                    f"ERROR: parallel speedup {speedup}x on {name} is "
+                    f"below the {PARALLEL_SPEEDUP_FLOOR}x floor on a "
+                    f"{cores}-core runner",
+                    file=sys.stderr,
+                )
+                failed = True
     return 1 if failed else 0
 
 

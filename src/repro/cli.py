@@ -180,16 +180,50 @@ def _run_demo(
         )
         print(f"\nEXPLAIN ANALYZE {sweep.describe()}:")
         print(pdb.explain_analyze(sweep, cold_cache=True))
+
+        # Partition-wise joins: a co-partitioned build side joins each
+        # partition pair independently; a flat build side is broadcast to
+        # every partition subtree (or repartitioned -- both are costed).
+        cat_rows = [
+            {"catid": cat, "label": f"cat-{cat}", "floor": cat * 500.0}
+            for cat in range(200)
+        ]
+        pdb.create_table(
+            "cats",
+            sample_row=cat_rows[0],
+            tups_per_page=50,
+            partition_by=PartitionSpec.by_hash("catid", partitions),
+        )
+        pdb.load("cats", cat_rows)
+        pdb.create_table("catsflat", sample_row=cat_rows[0], tups_per_page=50)
+        pdb.load("catsflat", cat_rows)
+        co_join = Query.select("items", Between("price", 10_000, 60_000)).join(
+            "cats", on="catid"
+        )
+        print(f"\nEXPLAIN ANALYZE {co_join.describe()} (co-partitioned):")
+        print(pdb.explain_analyze(co_join, cold_cache=True))
+        flat_join = Query.select("items", Between("price", 10_000, 60_000)).join(
+            "catsflat", on="catid"
+        )
+        pdb.enable_repartition = False  # pin the broadcast shape
+        print(f"\nEXPLAIN ANALYZE {flat_join.describe()} (broadcast):")
+        print(pdb.explain_analyze(flat_join, cold_cache=True))
+        pdb.enable_repartition = True
+        print("\nflat build side, every costed candidate:")
+        for plan in pdb.explain(flat_join):
+            print(f"  {plan['estimated_cost_ms']:8.2f} ms est  {plan['structure']}")
+
         if FORK_AVAILABLE:
-            serial = pdb.run_query(sweep, cold_cache=True)
-            parallel = pdb.run_query(sweep, cold_cache=True, parallel=2)
-            identical = serial.io == parallel.io and (
-                serial.elapsed_ms == parallel.elapsed_ms
-            )
-            print(
-                f"\nprocess-parallel (2 workers): simulated stats "
-                f"{'bit-identical to serial' if identical else 'DIVERGED'}"
-            )
+            for name, parity_query in (("scan", sweep), ("join", co_join)):
+                serial = pdb.run_query(parity_query, cold_cache=True)
+                parallel = pdb.run_query(parity_query, cold_cache=True, parallel=2)
+                identical = serial.io == parallel.io and (
+                    serial.elapsed_ms == parallel.elapsed_ms
+                )
+                print(
+                    f"\nprocess-parallel {name} (2 workers): simulated stats "
+                    f"{'bit-identical to serial' if identical else 'DIVERGED'}"
+                )
         else:
             print("\nprocess-parallel: skipped (fork start method unavailable)")
     return 0

@@ -455,3 +455,90 @@ def sort_merge_join_cost(
     # The merge itself: one CPU charge per row of either input.
     streaming += (est_outer_rows + est_inner_rows) * hw.cpu_tuple_cost_ms
     return CostSplit(upfront_ms=upfront, streaming_ms=streaming)
+
+
+# ---------------------------------------------------------------------------
+# Partition-wise costing (exchange-level shapes)
+# ---------------------------------------------------------------------------
+
+def merge_comparison_count(rows: float, streams: int) -> float:
+    """Comparisons of a ``streams``-way heap merge: ``n log2 k``.
+
+    Shared between the cost model (:func:`merge_exchange_cost`, in ms) and
+    the executor (which charges the same count as CPU tuples when the merge
+    exchange emits), so the modelled and measured merge cost cannot drift.
+    """
+    rows = max(0.0, rows)
+    return rows * math.log2(max(2, streams))
+
+
+def merge_exchange_cost(
+    est_rows: float, streams: int, hw: HardwareParameters
+) -> CostSplit:
+    """Cost of k-way merging per-partition ordered streams into one.
+
+    The per-partition sorts/top-ks beneath the merge carry their own splits;
+    the merge itself is one ``log2 k`` heap operation per emitted row, all
+    streaming -- a LIMIT above stops the merge after ``k`` pops, which is
+    exactly what makes per-partition top-k + merge beat sorting the
+    concatenation.
+    """
+    return CostSplit(
+        upfront_ms=0.0,
+        streaming_ms=merge_comparison_count(est_rows, streams)
+        * hw.cpu_tuple_cost_ms,
+    )
+
+
+def broadcast_cost(
+    inner_scan_ms: float,
+    est_inner_rows: float,
+    n_partitions: int,
+    hw: HardwareParameters,
+) -> CostSplit:
+    """Cost of replicating a small flat input to every partition subtree.
+
+    The inner is scanned exactly once into a shared row cache (upfront);
+    every one of the ``n_partitions`` per-partition joins then re-reads the
+    cached rows at CPU cost -- the build work those joins charge themselves.
+    Only the scan and the cache materialisation are priced here; the
+    ``n_partitions``-fold build CPU shows up in the per-partition join
+    splits, which is what makes broadcasting a *large* inner lose to
+    repartitioning it (built once, not ``n`` times).
+    """
+    if n_partitions < 1:
+        raise ValueError("n_partitions must be at least 1")
+    return CostSplit(
+        upfront_ms=inner_scan_ms
+        + max(0.0, est_inner_rows) * hw.cpu_tuple_cost_ms,
+        streaming_ms=0.0,
+    )
+
+
+def repartition_cost(
+    source_cost_ms: float,
+    est_rows: float,
+    est_pages: float,
+    hw: HardwareParameters,
+) -> CostSplit:
+    """Cost of hash-splitting a stream into per-partition buckets.
+
+    The source is drained once (``source_cost_ms``), every row pays one
+    routing-hash CPU charge, and the bucketed rows take one modeled spill
+    round-trip through scratch storage: a seek plus ``pages - 1`` sequential
+    writes out, the same back in.  All upfront -- no bucket can be consumed
+    before routing has seen the last source row.
+    """
+    if est_rows < 0 or est_pages < 0:
+        raise ValueError("estimates must be non-negative")
+    spill_ms = 0.0
+    if est_pages >= 1.0:
+        spill_ms = 2 * (
+            hw.seek_cost_ms + (est_pages - 1) * hw.seq_page_cost_ms
+        )
+    return CostSplit(
+        upfront_ms=source_cost_ms
+        + est_rows * hw.cpu_tuple_cost_ms
+        + spill_ms,
+        streaming_ms=0.0,
+    )

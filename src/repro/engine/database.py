@@ -105,6 +105,12 @@ class Database:
         #: periodic refresh policy (the default -- the incremental updates
         #: are exact while the sample is complete).
         self.stats_refresh_ops = stats_refresh_ops
+        #: Whether join planning over partitioned tables may fall back to a
+        #: repartitioning exchange (hash-splitting the build side into the
+        #: outer table's partition layout).  With it off, a join whose only
+        #: viable shape is the repartition -- incompatible layouts on both
+        #: sides, no flat build side -- is rejected with an explicit error.
+        self.enable_repartition = True
         self.tables: dict[str, Table | PartitionedTable] = {}
 
     # -- DDL ---------------------------------------------------------------------
@@ -484,8 +490,22 @@ class Database:
     ) -> PlanNode:
         """Plan selection for one execution: a costed physical operator tree."""
         if query.joins:
+            joined = self._join_tables(query)
+            if any(
+                isinstance(joined[name], PartitionedTable)
+                for name in query.tables
+            ):
+                return self.planner.choose_partitioned_join(
+                    joined,
+                    query,
+                    force=force,
+                    force_join=force_join,
+                    limit=limit,
+                    projection=projection,
+                    enable_repartition=self.enable_repartition,
+                )
             return self.planner.choose_join(
-                self._join_tables(query),
+                joined,
                 query,
                 force=force,
                 force_join=force_join,
@@ -511,24 +531,18 @@ class Database:
             projection=projection,
         )
 
-    def _join_tables(self, query: Query) -> dict[str, Table]:
-        """The catalog restricted to plain tables, for join planning.
+    def _join_tables(self, query: Query) -> dict[str, Table | PartitionedTable]:
+        """The catalog view join planning resolves table names against.
 
-        Joins over partitioned tables are not planned yet (an exchange has
-        no single heap for the join operators to rescan or probe); rejecting
-        them here keeps the error message actionable.
+        Partitioned tables participate: when any joined table is
+        partitioned, :meth:`_plan` routes to the planner's partition-wise
+        join selection (co-partitioned, broadcast or repartition exchange
+        shapes); genuinely unsupported layouts are rejected there with an
+        actionable error.
         """
         for name in query.tables:
-            if isinstance(self.table(name), PartitionedTable):
-                raise ValueError(
-                    f"table {name!r} is partitioned: joins over partitioned "
-                    "tables are not supported yet"
-                )
-        return {
-            name: table
-            for name, table in self.tables.items()
-            if isinstance(table, Table)
-        }
+            self.table(name)  # raise the canonical unknown-table error
+        return dict(self.tables)
 
     def _validate_query(self, query: Query, projection: Sequence[str] | None) -> None:
         """Check table names, column collisions and the projection.
@@ -620,9 +634,21 @@ class Database:
         """
         self._validate_query(query, query.projection)
         if query.joins:
-            plans = self.planner.candidate_join_plans(
-                self._join_tables(query), query, limit=query.limit
-            )
+            joined = self._join_tables(query)
+            if any(
+                isinstance(joined[name], PartitionedTable)
+                for name in query.tables
+            ):
+                plans = self.planner.candidate_partitioned_join_plans(
+                    joined,
+                    query,
+                    limit=query.limit,
+                    enable_repartition=self.enable_repartition,
+                )
+            else:
+                plans = self.planner.candidate_join_plans(
+                    joined, query, limit=query.limit
+                )
         else:
             target = self.table(query.table)
             if isinstance(target, PartitionedTable):

@@ -881,8 +881,14 @@ def _charge_cpu(path: "RowSource", tuples: int) -> None:
     ``hash_join_cost``/``sort_merge_join_cost`` price, exactly as access
     paths charge CPU per examined row.
     """
+    if tuples <= 0:
+        return
+    cpu_disk = getattr(path, "cpu_disk", None)
+    if cpu_disk is not None:
+        cpu_disk.charge_cpu_tuples(tuples)
+        return
     table = getattr(path, "table", None)
-    if table is not None and tuples > 0:
+    if table is not None:
         table.buffer_pool.disk.charge_cpu_tuples(tuples)
 
 

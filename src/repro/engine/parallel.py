@@ -39,16 +39,32 @@ Three fan-out shapes are recognised:
 * plan root is a ``GroupByNode`` directly over the exchange -- workers ship
   per-group partials in first-seen group order, the parent merges them
   partition by partition (reproducing the serial first-seen order);
-* anything else without a LIMIT -- workers ship their partition's matching
-  rows, the parent hands them to the exchange as a replay and the ordinary
-  drain runs the decorators above.
+* anything else -- workers ship their partition's matching rows, the parent
+  hands them to the exchange as a replay (per-partition row lists for a
+  :class:`~repro.engine.exchange.MergeExchangeNode`, which re-merges them
+  exactly as it merged the live streams; one concatenation otherwise) and
+  the ordinary drain runs the decorators above.
 
-A ``LimitNode`` anywhere in the plan disables the parallel path: early
-termination stops the serial scan mid-partition, which full per-partition
-drains cannot reproduce.  One known divergence remains: workers warm their
-*forked* buffer pools, so after a parallel run the parent's partition pools
-are colder than a serial run would have left them.  Cold-cache methodology
-(the benchmarks and the fuzzer) is unaffected.
+A ``LimitNode`` disables the parallel path -- early termination stops the
+serial scan mid-partition, which full per-partition drains cannot reproduce
+-- **except** above a merge exchange whose children are all blocking
+Sort/TopK subtrees: the serial merge drains every child completely before
+emitting its first row anyway, so full per-partition drains are exactly the
+serial behaviour and the LIMIT only trims the parent-side re-merge.
+
+Partition-wise join subtrees fan out the same way: each surviving partition's
+join (scan + hash/probe/merge operator) runs in one worker, with per-group
+device windows shipped back (a co-partitioned join touches *two* private
+devices per subtree).  Broadcast and repartition caches are filled in the
+parent **before** the fork (:func:`repro.engine.exchange.prepare_plan`), so
+every worker inherits the filled cache and the shared-device fill charges
+happen exactly once, at the same point of the access sequence as the serial
+first-pull fill.
+
+One known divergence remains: workers warm their *forked* buffer pools, so
+after a parallel run the parent's partition pools are colder than a serial
+run would have left them.  Cold-cache methodology (the benchmarks and the
+fuzzer) is unaffected.
 """
 
 from __future__ import annotations
@@ -58,12 +74,15 @@ from dataclasses import dataclass
 from operator import itemgetter
 from typing import TYPE_CHECKING, Any, Iterator
 
+from repro.engine.exchange import MergeExchangeNode, prepare_plan
 from repro.engine.executor import ExecutionContext, PlanNode
 from repro.engine.plan import (
     AggregateNode,
     ExchangeNode,
     GroupByNode,
     LimitNode,
+    SortNode,
+    TopKNode,
     find_node,
 )
 from repro.storage.disk import IOBreakdown
@@ -92,10 +111,11 @@ class _ChildPayload:
 
     #: Per-node counter tuples over the subtree's pre-order ``walk()``.
     counters: list[tuple[int, int, int, int, int, int]]
-    #: The partition device's I/O counter window as a plain tuple.
-    io: tuple[int, int, int, int, int, int, int]
-    #: The partition device's final head position.
-    head: tuple[str | None, int | None]
+    #: The subtree's device group's I/O counter windows, as plain tuples in
+    #: the order of ``exchange.device_groups[index]``.
+    io: list[tuple[int, int, int, int, int, int, int]]
+    #: The device group's final head positions, in the same order.
+    head: list[tuple[str | None, int | None]]
     #: Mode-dependent result data (rows, value lists, or group partials).
     data: Any
     #: The CM scan's rewritten SQL, when the subtree produced one.
@@ -106,10 +126,23 @@ def parallel_supported(plan: PlanNode) -> bool:
     """Whether :func:`maybe_run_parallel` would fan this plan out."""
     if not FORK_AVAILABLE:
         return False
-    if find_node(plan, LimitNode) is not None:
-        return False
     exchange = find_node(plan, ExchangeNode)
-    return exchange is not None and len(exchange.sources) >= 2
+    if exchange is None or len(exchange.sources) < 2:
+        return False
+    limit = find_node(plan, LimitNode)
+    if limit is not None:
+        # Early termination is only reproducible when every child blocks:
+        # the serial merge then drains each partition fully regardless of
+        # the LIMIT, exactly what the workers do.  A LIMIT of zero never
+        # pulls the exchange at all, so the children must stay undrained.
+        if not isinstance(exchange, MergeExchangeNode) or limit.k < 1:
+            return False
+        if not all(
+            isinstance(source, (SortNode, TopKNode))
+            for source in exchange.sources
+        ):
+            return False
+    return True
 
 
 def _fanout_mode(plan: PlanNode, exchange: ExchangeNode) -> str:
@@ -147,13 +180,13 @@ def _run_child(index: int) -> _ChildPayload:
     state = _WORKER_STATE
     exchange: ExchangeNode = state["exchange"]
     child = exchange.sources[index]
-    device = exchange.devices[index]
+    devices = exchange.device_groups[index]
     snapshot: "Snapshot | None" = state["snapshot"]
     mode: str = state["mode"]
     # count_output=False mirrors the child context the exchange node pulls
     # under serially, so per-node rows_emitted matches the serial run.
     context = ExecutionContext(snapshot=snapshot, count_output=False)
-    before = device.snapshot()
+    befores = [device.snapshot() for device in devices]
     rows = _child_rows(child, context, state["batch_size"])
 
     data: Any
@@ -190,7 +223,10 @@ def _run_child(index: int) -> _ChildPayload:
     else:
         data = [dict(row) for row in rows]
 
-    window = device.window_since(before)
+    windows = [
+        device.window_since(before)
+        for device, before in zip(devices, befores)
+    ]
     return _ChildPayload(
         counters=[
             (
@@ -203,16 +239,19 @@ def _run_child(index: int) -> _ChildPayload:
             )
             for node in child.walk()
         ],
-        io=(
-            window.sequential_reads,
-            window.random_reads,
-            window.sequential_writes,
-            window.random_writes,
-            window.log_flushes,
-            window.log_pages_written,
-            window.cpu_tuples,
-        ),
-        head=device.tracker.head_position(),
+        io=[
+            (
+                window.sequential_reads,
+                window.random_reads,
+                window.sequential_writes,
+                window.random_writes,
+                window.log_flushes,
+                window.log_pages_written,
+                window.cpu_tuples,
+            )
+            for window in windows
+        ],
+        head=[device.tracker.head_position() for device in devices],
         data=data,
         rewritten_sql=context.rewritten_sql,
     )
@@ -234,8 +273,9 @@ def _apply_payloads(
                 node.actual.join_probes,
                 node.actual.rows_out,
             ) = counters
-    for device, payload in zip(exchange.devices, payloads):
-        device.absorb(IOBreakdown(*payload.io), payload.head)
+    for group, payload in zip(exchange.device_groups, payloads):
+        for device, io, head in zip(group, payload.io, payload.head):
+            device.absorb(IOBreakdown(*io), head)
     for payload in payloads:
         if payload.rewritten_sql is not None:
             context.shared.rewritten_sql = payload.rewritten_sql
@@ -322,10 +362,29 @@ def maybe_run_parallel(
         return None
     exchange = find_node(plan, ExchangeNode)
     mode = _fanout_mode(plan, exchange)
+    # Broadcast/repartition caches fill in the parent before the fork, so
+    # every worker inherits them and the shared-device fill charges happen
+    # exactly once -- at the same point of the access sequence as the serial
+    # first-pull fill.  report_rewritten_sql=False mirrors the hash build
+    # context the fill runs under serially.
+    prepare_plan(
+        plan,
+        ExecutionContext(
+            snapshot=context.snapshot,
+            count_output=False,
+            report_rewritten_sql=False,
+        ),
+    )
+    # Under a LIMIT the serial batched drain degrades the exchange's
+    # children to row-at-a-time pulls (the chunked-row fallback); the
+    # workers mirror that so per-node accounting matches bit for bit.
+    batch_size = database.batch_size
+    if find_node(plan, LimitNode) is not None:
+        batch_size = None
     _WORKER_STATE.update(
         exchange=exchange,
         snapshot=context.snapshot,
-        batch_size=database.batch_size,
+        batch_size=batch_size,
         mode=mode,
         aggregate=getattr(plan, "aggregate", None),
         group_columns=getattr(plan, "group_columns", ()),
@@ -343,8 +402,13 @@ def maybe_run_parallel(
     if mode == "group":
         assert isinstance(plan, GroupByNode)
         return _merge_groups(plan, exchange, payloads)
-    replay: list[dict[str, Any]] = []
-    for payload in payloads:
-        replay.extend(payload.data)
-    exchange.set_replay(replay)
+    if isinstance(exchange, MergeExchangeNode):
+        # Per-partition ordered lists re-merge exactly as the live streams
+        # would have; a LIMIT above then trims the re-merge identically.
+        exchange.set_replay_parts([payload.data for payload in payloads])
+    else:
+        replay: list[dict[str, Any]] = []
+        for payload in payloads:
+            replay.extend(payload.data)
+        exchange.set_replay(replay)
     return database._drain(plan, context)

@@ -145,6 +145,21 @@ class PartitionSpec:
             return every
         return every
 
+    def layout_compatible_with(self, other: "PartitionSpec") -> bool:
+        """Whether two specs shard their key domains identically.
+
+        Equal method, partition count and boundaries mean partition *k* of
+        one table can only join partition *k* of the other on the paired
+        keys -- the condition for a partition-wise (co-partitioned) join.
+        The key *names* may differ (``catid`` joining ``id``); only the
+        value-to-partition mapping must agree.
+        """
+        return (
+            self.method == other.method
+            and self.num_partitions == other.num_partitions
+            and self.boundaries == other.boundaries
+        )
+
     def describe(self) -> str:
         return f"{self.method}({self.key}) x {self.num_partitions}"
 

@@ -716,6 +716,7 @@ class ExchangeNode(PlanNode):
     __slots__ = (
         "sources",
         "devices",
+        "device_groups",
         "partition_key",
         "partition_method",
         "partitions_total",
@@ -728,18 +729,35 @@ class ExchangeNode(PlanNode):
         self,
         sources: Sequence[PlanNode],
         *,
-        devices: Sequence["DiskModel"],
+        devices: Sequence["DiskModel | Sequence[DiskModel]"],
         partition_key: str,
         partition_method: str,
         partitions_total: int,
     ) -> None:
         super().__init__()
         self.sources: tuple[PlanNode, ...] = tuple(sources)
-        #: The per-partition devices of the surviving children, in child
-        #: order.  The database snapshots these around execution to fold the
-        #: partitions' I/O into the query's reported breakdown.
-        self.devices: tuple["DiskModel", ...] = tuple(devices)
-        if len(self.devices) != len(self.sources):
+        #: Per-child device groups: every private device one child subtree
+        #: reads through.  A plain scan child has a one-device group; a
+        #: partition-wise join child groups its outer partition's device with
+        #: its inner partition's.  Each entry of ``devices`` may therefore be
+        #: a single :class:`DiskModel` or a sequence of them.
+        groups: list[tuple["DiskModel", ...]] = []
+        for entry in devices:
+            if isinstance(entry, (tuple, list)):
+                groups.append(tuple(entry))
+            else:
+                groups.append((entry,))
+        self.device_groups: tuple[tuple["DiskModel", ...], ...] = tuple(groups)
+        #: The distinct per-partition devices of the surviving children, in
+        #: child order.  The database snapshots these around execution to
+        #: fold the partitions' I/O into the query's reported breakdown, so
+        #: no device may appear twice (its window would be folded twice).
+        flat: dict[int, "DiskModel"] = {}
+        for group in self.device_groups:
+            for device in group:
+                flat.setdefault(id(device), device)
+        self.devices: tuple["DiskModel", ...] = tuple(flat.values())
+        if len(self.device_groups) != len(self.sources):
             raise ValueError("one device per partition subtree is required")
         self.partition_key = partition_key
         self.partition_method = partition_method

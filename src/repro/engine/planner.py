@@ -61,14 +61,17 @@ if TYPE_CHECKING:
 from repro.core.cost import (
     CMCostInputs,
     CostSplit,
+    broadcast_cost,
     cm_lookup_cost,
     cm_lookup_cost_split,
     hash_group_cost,
     hash_join_cost,
     index_nested_loop_join_cost,
     limited_cost,
+    merge_exchange_cost,
     nested_loop_join_cost,
     pipelined_lookup_cost,
+    repartition_cost,
     scalar_aggregate_cost,
     scan_cost,
     sort_cost,
@@ -97,7 +100,14 @@ from repro.engine.executor import (
     ScanNode,
     SortMergeJoin,
 )
-from repro.engine.partition import PartitionedTable
+from repro.engine.exchange import (
+    BroadcastNode,
+    MergeExchangeNode,
+    RepartitionNode,
+    _BroadcastCache,
+    _RepartitionCache,
+)
+from repro.engine.partition import PartitionedTable, PartitionSpec
 from repro.engine.plan import (
     AggregateNode,
     ExchangeNode,
@@ -106,6 +116,7 @@ from repro.engine.plan import (
     ProjectNode,
     SortNode,
     TopKNode,
+    _ordering_text,
 )
 from repro.engine.predicates import Between, Equals, InSet, PredicateSet
 from repro.engine.query import Query
@@ -388,10 +399,13 @@ class Planner:
 
         ``stream_ordering`` entries are ``(column_or_column_set, ascending)``
         -- a merge join's output is simultaneously ordered under both join
-        key names, hence the set form.  The requested order must be an
-        ascending prefix of the stream's (a stream sorted by ``(a, b)``
-        satisfies ``ORDER BY a`` because the sort is stable, but never a
-        descending request: heaps only flow forward).
+        key names, hence the set form.  The requested order must be a
+        direction-matching prefix of the stream's (a stream sorted by
+        ``(a, b)`` satisfies ``ORDER BY a`` because the sort is stable).
+        Heaps and indexes only flow forward, so their streams carry
+        ascending entries and can never satisfy a descending request; a
+        merge exchange, however, re-emits whatever order its per-partition
+        sorts produced, descending included.
         """
         if len(required) > len(stream_ordering):
             return False
@@ -399,7 +413,7 @@ class Planner:
             columns, stream_ascending = entry
             if isinstance(columns, str):
                 columns = {columns}
-            if not ascending or not stream_ascending or column not in columns:
+            if ascending != stream_ascending or column not in columns:
                 return False
         return True
 
@@ -630,26 +644,10 @@ class Planner:
             projection = query.projection
         spec = table.spec
         survivors = table.prune(query.predicates)
-        children = [
+        children: list[PlanNode] = [
             self._partition_scan(table.partitions[index], query.predicates, force)
             for index in survivors
         ]
-        exchange = ExchangeNode(
-            children,
-            devices=[table.devices[index] for index in survivors],
-            partition_key=spec.key,
-            partition_method=spec.method,
-            partitions_total=spec.num_partitions,
-        )
-        est_rows = sum(child.est_rows or 0.0 for child in children)
-        exchange.est_rows = est_rows
-        exchange.est_pages = sum(child.est_pages or 0.0 for child in children)
-        exchange.est_cost_ms = sum(child.est_cost_ms or 0.0 for child in children)
-        child_structures = sorted({child.structure or "?" for child in children})
-        exchange.structure = (
-            f"exchange[{spec.describe()}: {len(children)}/{spec.num_partitions} "
-            f"scanned via {', '.join(child_structures) if child_structures else 'none'}]"
-        )
         key_order = ((spec.key, True),)
         ordering: Sequence[tuple[Any, bool]] = ()
         if spec.method == "range" and all(
@@ -657,16 +655,122 @@ class Planner:
             for child in children
         ):
             ordering = key_order
+        child_structures = sorted({child.structure or "?" for child in children})
+        body = (
+            f"{spec.describe()}: {len(children)}/{spec.num_partitions} "
+            f"scanned via {', '.join(child_structures) if child_structures else 'none'}"
+        )
+        devices = [table.devices[index] for index in survivors]
+        exchange, input_ordering = self._assemble_exchange(
+            children,
+            devices,
+            devices,
+            spec=spec,
+            shared_disk=table.disk,
+            query=query,
+            limit=limit,
+            concat_ordering=ordering,
+            structure_body=body,
+        )
         return self._decorate(
             exchange,
             query,
             limit=limit,
             projection=projection,
-            input_rows=est_rows,
-            input_ordering=ordering,
+            input_rows=exchange.est_rows or 0.0,
+            input_ordering=input_ordering,
             tables=[table],
             disk=table.disk,
         )
+
+    def _assemble_exchange(
+        self,
+        children: list[PlanNode],
+        device_entries: Sequence["DiskModel | tuple[DiskModel, ...]"],
+        sort_devices: Sequence["DiskModel"],
+        *,
+        spec: PartitionSpec,
+        shared_disk: "DiskModel",
+        query: Query,
+        limit: int | None,
+        concat_ordering: Sequence[tuple[Any, bool]],
+        structure_body: str,
+    ) -> tuple[ExchangeNode, Sequence[tuple[Any, bool]]]:
+        """The exchange over per-partition subtrees: plain concat or k-way merge.
+
+        When the query orders its rows, the concatenation does not already
+        satisfy the ORDER BY, and at least two partitions survive, each child
+        is wrapped in a per-partition Sort (or TopK when a LIMIT bounds the
+        result -- partitioned ORDER BY + LIMIT becomes per-partition top-k)
+        charged to that partition's private device, and a
+        :class:`MergeExchangeNode` heap-merges the ordered streams instead of
+        sorting the concatenation.  The returned ordering is what the
+        exchange's output stream provides, for :meth:`_decorate` (a merge's
+        output satisfies the ORDER BY outright, descending included).
+        """
+        hw = self.hardware
+        est_rows = sum(child.est_rows or 0.0 for child in children)
+        est_pages = sum(child.est_pages or 0.0 for child in children)
+        base_cost = sum(child.est_cost_ms or 0.0 for child in children)
+        want_merge = (
+            bool(query.ordering)
+            and query.aggregate is None
+            and len(children) >= 2
+            and not self._ordering_satisfied(concat_ordering, query.ordering)
+        )
+        if not want_merge:
+            exchange = ExchangeNode(
+                children,
+                devices=device_entries,
+                partition_key=spec.key,
+                partition_method=spec.method,
+                partitions_total=spec.num_partitions,
+            )
+            exchange.est_rows = est_rows
+            exchange.est_pages = est_pages
+            exchange.est_cost_ms = base_cost
+            exchange.structure = f"exchange[{structure_body}]"
+            return exchange, concat_ordering
+
+        wrapped: list[PlanNode] = []
+        extra_ms = 0.0
+        out_rows = 0.0
+        for child, device in zip(children, sort_devices):
+            rows = child.est_rows or 0.0
+            node: PlanNode
+            if limit is not None:
+                split = top_k_cost(rows, limit, hw)
+                node = TopKNode(child, query.ordering, limit, disk=device)
+                node.est_rows = min(rows, float(limit))
+            else:
+                split = sort_cost(rows, hw)
+                node = SortNode(child, query.ordering, disk=device)
+                node.est_rows = rows
+            node.est_pages = 0.0
+            node.cost_split = split
+            extra_ms += split.total_ms
+            out_rows += node.est_rows
+            wrapped.append(node)
+        merge_split = merge_exchange_cost(out_rows, len(wrapped), hw)
+        merge = MergeExchangeNode(
+            wrapped,
+            devices=device_entries,
+            partition_key=spec.key,
+            partition_method=spec.method,
+            partitions_total=spec.num_partitions,
+            ordering=query.ordering,
+            disk=shared_disk,
+        )
+        merge.est_rows = out_rows
+        merge.est_pages = est_pages
+        merge.cost_split = merge_split
+        merge.est_cost_ms = base_cost + extra_ms + merge_split.total_ms
+        kind = "topk" if limit is not None else "sort"
+        merge.structure = (
+            f"merge_exchange[{_ordering_text(tuple(query.ordering))}; "
+            f"{structure_body}; per-partition {kind}]"
+        )
+        return merge, tuple(query.ordering)
 
     def candidate_partitioned_plans(
         self,
@@ -696,6 +800,482 @@ class Planner:
             if plan.structure not in seen:
                 seen.add(plan.structure)
                 plans.append(plan)
+        return plans
+
+    # -- selection (partition-wise joins) ----------------------------------------------
+
+    def _partition_join_layout(
+        self,
+        tables: Mapping[str, AnyTable],
+        query: Query,
+        *,
+        enable_repartition: bool = True,
+    ) -> "_PartitionJoinLayout":
+        """Classify a two-table join touching partitioned storage.
+
+        The partitioned side is the *outer* of every per-partition subtree
+        (the driving side when both are partitioned); static pruning runs on
+        the outer side's local predicates only, so result rows match the
+        flat join row for row.  Three exchange shapes can apply:
+
+        * ``co_partitioned`` -- both sides partitioned with byte-identical
+          layouts (:meth:`PartitionSpec.layout_compatible_with`) and the two
+          partition keys equated in the join condition: partition *k* joins
+          partition *k*, any per-partition operator applies.
+        * ``broadcast`` -- a flat build side replicated to every partition's
+          hash join through a shared cache, scanned once.
+        * ``repartition`` -- the build side (flat, or partitioned with an
+          incompatible layout) hash-split into the outer layout by the join
+          column equated with the outer partition key; gated by
+          ``enable_repartition`` (``Database.enable_repartition``).
+        """
+        names = list(query.tables)
+        if len(names) != 2:
+            raise ValueError(
+                "joins over partitioned tables support exactly two tables; "
+                f"{query.describe()!r} joins {len(names)}"
+            )
+        edges = self._join_edges(tables, query)
+        driving, other = names
+        outer_name = (
+            driving
+            if isinstance(tables[driving], PartitionedTable)
+            else other
+        )
+        inner_name = other if outer_name == driving else driving
+        pairs: list[tuple[str, str]] = []
+        for a, ca, b, cb in edges:
+            if a == outer_name and b == inner_name:
+                pairs.append((ca, cb))
+            elif a == inner_name and b == outer_name:
+                pairs.append((cb, ca))
+        if not pairs:
+            raise ValueError(
+                f"join graph of {query.describe()!r} is not connected: every "
+                "joined table needs an equality linking it to the chain"
+            )
+        outer = tables[outer_name]
+        assert isinstance(outer, PartitionedTable)
+        inner = tables[inner_name]
+        spec = outer.spec
+        outer_local = self._local_predicates(query, outer_name)
+        inner_local = self._local_predicates(query, inner_name)
+        shapes: list[str] = []
+        if (
+            isinstance(inner, PartitionedTable)
+            and spec.layout_compatible_with(inner.spec)
+            and (spec.key, inner.spec.key) in pairs
+        ):
+            shapes.append("co_partitioned")
+        if isinstance(inner, Table):
+            shapes.append("broadcast")
+        route_column = next(
+            (ic for oc, ic in pairs if oc == spec.key), None
+        )
+        if (
+            route_column is not None
+            and "co_partitioned" not in shapes
+            and enable_repartition
+        ):
+            shapes.append("repartition")
+        if not shapes:
+            if route_column is not None and not enable_repartition:
+                raise ValueError(
+                    f"cannot join partitioned table {outer_name!r} with "
+                    f"{inner_name!r}: the partition layouts are incompatible "
+                    "and repartitioning is disabled "
+                    "(Database.enable_repartition)"
+                )
+            raise ValueError(
+                f"cannot join partitioned table {outer_name!r} with "
+                f"{inner_name!r}: the join condition equates neither "
+                f"compatible partition keys nor the partition key "
+                f"{spec.key!r}, and the build side is not a flat table"
+            )
+        return _PartitionJoinLayout(
+            outer_name=outer_name,
+            inner_name=inner_name,
+            outer=outer,
+            inner=inner,
+            pairs=pairs,
+            outer_local=outer_local,
+            inner_local=inner_local,
+            survivors=tuple(outer.prune(outer_local)),
+            shapes=tuple(shapes),
+        )
+
+    @staticmethod
+    def _filter_join_candidates(
+        candidates: list["_StepCandidate"], force_join: str | None
+    ) -> list["_StepCandidate"]:
+        """The subset of step candidates a forced join method permits."""
+        if force_join is None:
+            return candidates
+        if force_join == "nested_loop_join":
+            return [c for c in candidates if c.strategy == "seq_scan"]
+        if force_join == "index_nested_loop_join":
+            return [
+                c
+                for c in candidates
+                if c.kind == "probe" and c.strategy != "seq_scan"
+            ]
+        if force_join == "hash_join":
+            return [c for c in candidates if c.kind == "hash"]
+        if force_join == "sort_merge_join":
+            return [c for c in candidates if c.kind == "merge"]
+        raise ValueError(f"unknown join method {force_join!r}")
+
+    def _partition_join_plan(
+        self,
+        layout: "_PartitionJoinLayout",
+        shape: str,
+        query: Query,
+        *,
+        force: str | None,
+        force_join: str | None,
+        limit: int | None,
+        projection: Sequence[str] | None,
+    ) -> PlanNode:
+        """One decorated partition-wise join plan of the requested shape."""
+        outer, inner = layout.outer, layout.inner
+        spec = outer.spec
+        hw = self.hardware
+        pairs = layout.pairs
+        outer_columns = [oc for oc, _ic in pairs]
+        inner_columns = [ic for _oc, ic in pairs]
+        key_order = ((spec.key, True),)
+
+        if shape in ("broadcast", "repartition") and force_join not in (
+            None,
+            "hash_join",
+        ):
+            raise ValueError(
+                f"the {shape} shape only supports hash_join, not {force_join!r}"
+            )
+
+        # The single fill plan (broadcast source, repartition source) plus
+        # the shape-level cost paid once rather than per partition.
+        fill: PlanNode | None = None
+        extra_ms = 0.0
+        broadcast_cache: "_BroadcastCache | None" = None
+        repartition_cache: "_RepartitionCache | None" = None
+        route_column: str | None = None
+        est_fill_rows = 0.0
+        if shape == "broadcast":
+            assert isinstance(inner, Table)
+            fill = min(
+                self._candidate_scan_plans(inner, layout.inner_local),
+                key=self.plan_rank,
+            )
+            est_fill_rows = fill.est_rows or 0.0
+            extra_ms = broadcast_cost(
+                fill.est_cost_ms or 0.0,
+                est_fill_rows,
+                max(1, len(layout.survivors)),
+                hw,
+            ).total_ms
+            broadcast_cache = _BroadcastCache()
+        elif shape == "repartition":
+            route_column = next(ic for oc, ic in pairs if oc == spec.key)
+            if isinstance(inner, PartitionedTable):
+                inner_survivors = inner.prune(layout.inner_local)
+                inner_children = [
+                    self._partition_scan(
+                        inner.partitions[index], layout.inner_local, None
+                    )
+                    for index in inner_survivors
+                ]
+                fill = ExchangeNode(
+                    inner_children,
+                    devices=[inner.devices[index] for index in inner_survivors],
+                    partition_key=inner.spec.key,
+                    partition_method=inner.spec.method,
+                    partitions_total=inner.spec.num_partitions,
+                )
+                fill.est_rows = sum(c.est_rows or 0.0 for c in inner_children)
+                fill.est_pages = sum(c.est_pages or 0.0 for c in inner_children)
+                fill.est_cost_ms = sum(
+                    c.est_cost_ms or 0.0 for c in inner_children
+                )
+            else:
+                fill = min(
+                    self._candidate_scan_plans(inner, layout.inner_local),
+                    key=self.plan_rank,
+                )
+            est_fill_rows = fill.est_rows or 0.0
+            extra_ms = repartition_cost(
+                fill.est_cost_ms or 0.0,
+                est_fill_rows,
+                est_fill_rows / max(1, inner.tups_per_page),
+                hw,
+            ).total_ms
+            repartition_cache = _RepartitionCache()
+
+        selectivity = 1.0
+        if layout.inner_local:
+            selectivity = inner.statistics.match_fraction(
+                layout.inner_local.matches, key=tuple(layout.inner_local)
+            )
+        children: list[PlanNode] = []
+        device_entries: list["DiskModel | tuple[DiskModel, ...]"] = []
+        sort_devices: list["DiskModel"] = []
+        concat_ordered = spec.method == "range"
+        for position, index in enumerate(layout.survivors):
+            outer_scan = self._partition_scan(
+                outer.partitions[index], layout.outer_local, force
+            )
+            est_rows = outer_scan.est_rows or 0.0
+            outer_key_card = float(
+                outer.partitions[index].key_cardinality(outer_columns)
+            )
+            operator: JoinOperator
+            if shape == "co_partitioned":
+                assert isinstance(inner, PartitionedTable)
+                inner_child = inner.partitions[index]
+                child_selectivity = (
+                    inner_child.statistics.match_fraction(
+                        layout.inner_local.matches,
+                        key=tuple(layout.inner_local),
+                    )
+                    if layout.inner_local
+                    else 1.0
+                )
+                step = _JoinStep(
+                    table=inner_child,
+                    join_on=list(pairs),
+                    local=layout.inner_local,
+                    options=self._inner_strategy_options(
+                        inner_child, inner_columns
+                    ),
+                    fanout=join_fanout(
+                        inner_child.num_rows,
+                        outer_key_card,
+                        float(inner_child.key_cardinality(inner_columns)),
+                    ),
+                    selectivity=child_selectivity,
+                    est_inner_rows=inner_child.num_rows * child_selectivity,
+                    inner_sorted=(
+                        len(inner_columns) == 1
+                        and inner_child.clustered_attribute == inner_columns[0]
+                        and not inner_child.tail_pages()
+                    ),
+                )
+                outer_sorted = len(pairs) == 1 and self._ordering_satisfied(
+                    outer_scan.path.output_ordering(), ((pairs[0][0], True),)
+                )
+                candidates = self._filter_join_candidates(
+                    self._step_candidates(step, est_rows, outer_sorted),
+                    force_join,
+                )
+                if not candidates:
+                    raise ValueError(
+                        "no applicable plan for forced join method "
+                        f"{force_join!r}"
+                    )
+                chosen = min(candidates, key=lambda c: c.split.total_ms)
+                rows_after = est_rows * step.fanout * step.selectivity
+                operator = self._build_step_operator(
+                    outer_scan, step, chosen, rows_after
+                )
+                split = chosen.split
+                pages = float(inner_child.num_pages) if chosen.kind in (
+                    "hash",
+                    "merge",
+                ) else 0.0
+                # Probe-family steps and an inner-built hash preserve the
+                # outer stream's order; a merge or an outer-built hash
+                # scrambles the concatenation's partition-key order.
+                if chosen.kind == "merge" or (
+                    chosen.kind == "hash" and chosen.build_side == "outer"
+                ):
+                    concat_ordered = False
+                device_entries.append(
+                    (outer.devices[index], inner.devices[index])
+                )
+            else:
+                fanout = join_fanout(
+                    inner.num_rows,
+                    outer_key_card,
+                    float(inner.key_cardinality(inner_columns)),
+                )
+                rows_after = est_rows * fanout * selectivity
+                if shape == "broadcast":
+                    assert broadcast_cache is not None and fill is not None
+                    build: PlanNode = BroadcastNode(
+                        broadcast_cache,
+                        cpu_disk=outer.devices[index],
+                        table_name=inner.name,
+                        source=fill if position == 0 else None,
+                    )
+                    build.est_rows = est_fill_rows
+                    build.est_pages = 0.0
+                    build_rows = est_fill_rows
+                else:
+                    assert repartition_cache is not None
+                    assert fill is not None and route_column is not None
+                    build = RepartitionNode(
+                        repartition_cache,
+                        partition_index=index,
+                        spec=spec,
+                        route_column=route_column,
+                        table_name=inner.name,
+                        cpu_disk=outer.devices[index],
+                        disk=outer.disk,
+                        tups_per_page=inner.tups_per_page,
+                        source=fill if position == 0 else None,
+                    )
+                    build_rows = est_fill_rows / max(1, spec.num_partitions)
+                    build.est_rows = build_rows
+                    build.est_pages = 0.0
+                operator = HashJoin(
+                    outer_scan,
+                    build,
+                    pairs,
+                    build_side="inner",
+                    inner_label=f"{shape}({inner.name})",
+                )
+                split = CostSplit(
+                    upfront_ms=build_rows * hw.cpu_tuple_cost_ms,
+                    streaming_ms=est_rows * hw.cpu_tuple_cost_ms,
+                )
+                pages = 0.0
+                device_entries.append(outer.devices[index])
+            if concat_ordered and not self._ordering_satisfied(
+                outer_scan.path.output_ordering(), key_order
+            ):
+                concat_ordered = False
+            operator.est_rows = rows_after
+            operator.cost_split = split
+            operator.est_pages = (outer_scan.est_pages or 0.0) + pages
+            operator.est_cost_ms = (
+                (outer_scan.est_cost_ms or 0.0) + split.total_ms
+            )
+            operator.structure = (
+                f"{outer_scan.structure} -> "
+                f"{operator.name}({operator.describe_detail()})"
+            )
+            children.append(operator)
+            sort_devices.append(outer.devices[index])
+
+        child_structures = sorted(
+            {child.structure or "?" for child in children}
+        )
+        shape_label = {
+            "co_partitioned": f"co-partitioned with {inner.name}",
+            "broadcast": f"broadcast {inner.name}",
+            "repartition": f"repartition {inner.name}",
+        }[shape]
+        body = (
+            f"{spec.describe()}: {len(children)}/{spec.num_partitions} "
+            f"{shape_label} via "
+            f"{', '.join(child_structures) if child_structures else 'none'}"
+        )
+        exchange, input_ordering = self._assemble_exchange(
+            children,
+            device_entries,
+            sort_devices,
+            spec=spec,
+            shared_disk=outer.disk,
+            query=query,
+            limit=limit,
+            concat_ordering=key_order if concat_ordered else (),
+            structure_body=body,
+        )
+        exchange.est_cost_ms = (exchange.est_cost_ms or 0.0) + extra_ms
+        return self._decorate(
+            exchange,
+            query,
+            limit=limit,
+            projection=projection,
+            input_rows=exchange.est_rows or 0.0,
+            input_ordering=input_ordering,
+            tables=[outer, inner],
+            disk=outer.disk,
+        )
+
+    def choose_partitioned_join(
+        self,
+        tables: Mapping[str, AnyTable],
+        query: Query,
+        *,
+        force: str | None = None,
+        force_join: str | None = None,
+        limit: int | None = None,
+        projection: Sequence[str] | None = None,
+        enable_repartition: bool = True,
+    ) -> PlanNode:
+        """The cheapest partition-wise join plan over partitioned storage.
+
+        Every applicable exchange shape (co-partitioned, broadcast,
+        repartition -- see :meth:`_partition_join_layout`) is built and
+        costed; selection picks the cheapest by :meth:`plan_rank`, exactly
+        as flat join planning picks among its strategy shapes.
+        """
+        if force is not None and force not in FORCE_METHODS:
+            raise ValueError(f"unknown access method {force!r}")
+        if force_join is not None and force_join not in FORCE_JOIN_METHODS:
+            raise ValueError(f"unknown join method {force_join!r}")
+        if projection is None:
+            projection = query.projection
+        layout = self._partition_join_layout(
+            tables, query, enable_repartition=enable_repartition
+        )
+        plans: list[PlanNode] = []
+        errors: list[str] = []
+        for shape in layout.shapes:
+            try:
+                plans.append(
+                    self._partition_join_plan(
+                        layout,
+                        shape,
+                        query,
+                        force=force,
+                        force_join=force_join,
+                        limit=limit,
+                        projection=projection,
+                    )
+                )
+            except ValueError as error:
+                errors.append(str(error))
+        if not plans:
+            raise ValueError(
+                errors[0] if errors else "no applicable partition-wise join plan"
+            )
+        return min(plans, key=self.plan_rank)
+
+    def candidate_partitioned_join_plans(
+        self,
+        tables: Mapping[str, AnyTable],
+        query: Query,
+        *,
+        limit: int | None = None,
+        projection: Sequence[str] | None = None,
+        enable_repartition: bool = True,
+    ) -> list[PlanNode]:
+        """Every applicable partition-wise join shape, for ``Database.explain``."""
+        layout = self._partition_join_layout(
+            tables, query, enable_repartition=enable_repartition
+        )
+        plans: list[PlanNode] = []
+        seen: set[str] = set()
+        for shape in layout.shapes:
+            try:
+                plan = self._partition_join_plan(
+                    layout,
+                    shape,
+                    query,
+                    force=None,
+                    force_join=None,
+                    limit=limit,
+                    projection=projection,
+                )
+            except ValueError:
+                continue
+            if plan.structure not in seen:
+                seen.add(plan.structure)
+                plans.append(plan)
+        if not plans:
+            raise ValueError("no applicable partition-wise join plan")
         return plans
 
     #: Tie-break order when estimated costs are equal (which happens when all
@@ -1343,3 +1923,24 @@ class _OrderAnalysis:
     steps: list[_JoinStep]
     #: Whether the driving path streams in the first step's join-key order.
     first_step_outer_sorted: bool = False
+
+
+@dataclass
+class _PartitionJoinLayout:
+    """A two-table join touching partitioned storage, classified once.
+
+    Shared by every shape built for the join (see
+    :meth:`Planner._partition_join_layout`): the outer (partitioned,
+    pruned) side, the build side, the normalized join pairs as
+    ``(outer_column, inner_column)``, and which exchange shapes apply.
+    """
+
+    outer_name: str
+    inner_name: str
+    outer: PartitionedTable
+    inner: AnyTable
+    pairs: list[tuple[str, str]]
+    outer_local: PredicateSet
+    inner_local: PredicateSet
+    survivors: tuple[int, ...]
+    shapes: tuple[str, ...]

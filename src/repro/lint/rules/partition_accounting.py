@@ -13,10 +13,12 @@ itself, or partitioned counters would drift from the single-heap baseline
 in ways the differential fuzzer can only detect after the fact.
 
 This rule extends REPRO102 inside the partition fan-out modules
-(``engine/partition.py`` and ``engine/parallel.py``) with the *full* heap
-read surface -- including ``fetch``/``scan``/``scan_pages``, which
-maintenance code elsewhere may use -- plus direct buffer-pool page access
-(``access``/``access_run``).
+(``engine/partition.py``, ``engine/parallel.py`` and the exchange
+operators in ``engine/exchange.py`` -- the k-way merge, broadcast and
+repartition nodes move rows between partition subtrees but never read
+pages) with the *full* heap read surface -- including
+``fetch``/``scan``/``scan_pages``, which maintenance code elsewhere may
+use -- plus direct buffer-pool page access (``access``/``access_run``).
 """
 
 from __future__ import annotations
@@ -29,9 +31,14 @@ from repro.lint.registry import Rule, register_rule
 from repro.lint.rules._common import terminal_attribute, walk_functions, walk_own_nodes
 from repro.lint.violations import Violation
 
-#: Modules implementing the partition fan-out (routing, pruning, exchange,
-#: process-parallel workers).  They orchestrate scans but never perform them.
-FANOUT_MODULES = ("engine/partition.py", "engine/parallel.py")
+#: Modules implementing the partition fan-out (routing, pruning, exchange
+#: operators, process-parallel workers).  They orchestrate scans but never
+#: perform them.
+FANOUT_MODULES = (
+    "engine/partition.py",
+    "engine/parallel.py",
+    "engine/exchange.py",
+)
 
 #: Every page-pulling heap API, a superset of REPRO102's ``PAGE_READS``.
 HEAP_READS = frozenset(

@@ -192,6 +192,24 @@ class IOTracker:
     def record_cpu_tuples(self, count: int) -> None:
         self.counters.cpu_tuples += count
 
+    def record_spill(self, file_name: str, pages: int) -> None:
+        """One spill round-trip: stream ``pages`` out, then stream them back.
+
+        Charged as a seek to the scratch file plus ``pages - 1`` sequential
+        writes, then a rewind seek plus ``pages - 1`` sequential reads --
+        the access pattern of a hash-repartition that writes each bucket
+        run once and re-reads it once.  The head ends at the last scratch
+        page, so the consumer's next data access pays its seek back.
+        """
+        if pages <= 0:
+            return
+        self.counters.random_writes += 1
+        self.counters.sequential_writes += pages - 1
+        self.counters.random_reads += 1
+        self.counters.sequential_reads += pages - 1
+        self._last_file = file_name
+        self._last_page = pages - 1
+
     def head_position(self) -> tuple[str | None, int | None]:
         """The simulated head position ``(file, page)`` (``(None, None)`` parked)."""
         return (self._last_file, self._last_page)
@@ -247,6 +265,10 @@ class DiskModel:
 
     def charge_cpu_tuples(self, count: int) -> None:
         self.tracker.record_cpu_tuples(count)
+
+    def charge_spill(self, file_name: str, pages: int) -> None:
+        """Charge a spill round-trip (write out + read back) on a scratch file."""
+        self.tracker.record_spill(file_name, pages)
 
     # -- reporting -----------------------------------------------------------
 

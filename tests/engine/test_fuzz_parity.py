@@ -62,13 +62,19 @@ def fuzz_database():
     db.load("items", rows)
     db.cluster("items", "catid", pages_per_bucket=4)
     db.create_secondary_index("items", "price")
-    cat_rows = [
+    cat_rows = build_cat_rows()
+    db.create_table("cats", sample_row=cat_rows[0], tups_per_page=40)
+    db.load("cats", cat_rows)
+    db.create_table("catsf", sample_row=cat_rows[0], tups_per_page=40)
+    db.load("catsf", cat_rows)
+    return db
+
+
+def build_cat_rows():
+    return [
         {"catid": c, "label": f"cat{c}", "region": f"r{c % 5}"}
         for c in range(NUM_CATEGORIES)
     ]
-    db.create_table("cats", sample_row=cat_rows[0], tups_per_page=40)
-    db.load("cats", cat_rows)
-    return db
 
 
 # ---------------------------------------------------------------------------
@@ -226,8 +232,16 @@ def _partition_spec(label):
 
 @pytest.fixture(scope="module")
 def partitioned_databases():
-    """The fuzz items table under every partition layout (plus price index)."""
+    """The fuzz tables under every partition layout (plus price index).
+
+    ``cats`` is co-partitioned with ``items`` on ``catid`` (partition-wise
+    joins pick the co-partitioned shape); ``catsf`` holds the same rows in a
+    single flat heap (joins against it plan broadcast or repartition).  The
+    flat reference database carries both names as ordinary flat tables, so
+    any generated query runs unchanged on both sides of the differential.
+    """
     rows = build_fuzz_rows()
+    cat_rows = build_cat_rows()
     databases = {}
     for label in PARTITION_LAYOUTS:
         db = Database(buffer_pool_pages=400)
@@ -239,14 +253,25 @@ def partitioned_databases():
         )
         db.load("items", rows)
         db.create_secondary_index("items", "price")
+        db.create_table(
+            "cats",
+            sample_row=cat_rows[0],
+            tups_per_page=40,
+            partition_by=_partition_spec(label),
+        )
+        db.load("cats", cat_rows)
+        db.create_table("catsf", sample_row=cat_rows[0], tups_per_page=40)
+        db.load("catsf", cat_rows)
         databases[label] = db
     return databases
 
 
 def generate_partition_query(seed):
-    """One random single-table query plus a layout and execution modes."""
+    """One random query (possibly a join) plus a layout and execution modes."""
     rng = random.Random(seed + 777_000)
     predicates = _random_predicates(rng)
+    joined = rng.random() < 0.35
+    join_target = rng.choice(["cats", "catsf"])
     shape = rng.choice(["plain", "plain", "scalar", "grouped"])
     kwargs = {}
     if shape == "scalar":
@@ -260,19 +285,27 @@ def generate_partition_query(seed):
         if rng.random() < 0.4:
             kwargs["limit"] = rng.choice([0, 1, 3, 10])
     else:
+        columns = ["itemid", "catid", "cat2", "price", "qty"]
+        if joined:
+            columns += ["label", "region"]
         if rng.random() < 0.4:
-            kwargs["projection"] = rng.sample(
-                ["itemid", "catid", "cat2", "price", "qty"], rng.randrange(1, 4)
-            )
+            kwargs["projection"] = rng.sample(columns, rng.randrange(1, 4))
         if rng.random() < 0.5:
             order_columns = rng.sample(["price", "itemid", "catid", "qty"], 2)
             kwargs["order_by"] = [
                 column if rng.random() < 0.5 else f"-{column}"
                 for column in order_columns
             ]
+            # Half the ordered queries get a unique tiebreaker so the order
+            # is total and LIMITed rows compare across layouts.
+            if "itemid" not in order_columns and rng.random() < 0.5:
+                kwargs["order_by"].append("itemid")
         if rng.random() < 0.4:
             kwargs["limit"] = rng.choice([0, 1, 5, 37, 500])
     query = Query.select("items", *predicates, name=f"pfuzz_{seed}", **kwargs)
+    if joined:
+        local = [Equals("region", f"r{rng.randrange(5)}")] if rng.random() < 0.5 else []
+        query = query.join(join_target, "catid", *local)
     label = rng.choice(PARTITION_LAYOUTS)
     batch_sizes = rng.sample(BATCH_SIZES, 2)
     workers = rng.choice([None, 2, 3])
@@ -340,8 +373,10 @@ def assert_layouts_equivalent(flat, part, *, context):
     to whole pages; pruning *reduces* rows examined), and row order under a
     partial ORDER BY or no ORDER BY differs, so this asserts result
     equivalence: matched-row count, aggregate value (float-tolerant), and
-    -- without a LIMIT, which makes the kept subset layout-dependent --
-    the full sorted row multiset.
+    the full sorted row multiset.  Under a LIMIT the kept subset is
+    layout-dependent *unless* the ordering is total (it names the unique
+    ``itemid``), in which case the merged partitioned rows must equal the
+    flat rows exactly and in order.
     """
     assert part.rows_matched == flat.rows_matched, context
     assert part.rewritten_sql == flat.rewritten_sql, context
@@ -349,6 +384,11 @@ def assert_layouts_equivalent(flat, part, *, context):
         assert _values_close(part.value, flat.value), context
         return
     if flat.query.limit is not None:
+        total_order = any(
+            column == "itemid" for column, _ascending in flat.query.ordering
+        )
+        if total_order:
+            assert _rows_close(part.rows, flat.rows, same_order=True), context
         return
     assert _rows_close(part.rows, flat.rows, same_order=False), context
 
@@ -424,6 +464,10 @@ def test_partition_corpus_covers_every_shape():
         "scalar": 0,
         "grouped": 0,
         "pruning_predicate": 0,
+        "join_co_partitioned": 0,
+        "join_flat_build": 0,
+        "ordered": 0,
+        "ordered_total_limit": 0,
     }
     for seed in range(24):
         query, label, _batch_sizes, workers = generate_partition_query(seed)
@@ -441,6 +485,17 @@ def test_partition_corpus_covers_every_shape():
             counters["grouped"] += 1
         if query.predicates.on_attribute("catid"):
             counters["pruning_predicate"] += 1
+        targets = {spec.table for spec in query.joins}
+        if "cats" in targets:
+            counters["join_co_partitioned"] += 1
+        if "catsf" in targets:
+            counters["join_flat_build"] += 1
+        if query.ordering:
+            counters["ordered"] += 1
+        if query.limit is not None and any(
+            column == "itemid" for column, _ascending in query.ordering
+        ):
+            counters["ordered_total_limit"] += 1
     missing = [shape for shape, count in counters.items() if count == 0]
     assert not missing, f"partition corpus never generates: {missing}"
 

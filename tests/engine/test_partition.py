@@ -218,13 +218,122 @@ class TestExchangePlans:
         assert plans, "no partitioned candidates"
         assert any("exchange" in plan["structure"] for plan in plans)
 
-    def test_joins_over_partitioned_tables_are_rejected(self):
+    def test_order_by_limit_uses_merge_exchange(self):
         db = build_database(PartitionSpec.by_hash("catid", 4))
-        cats = [{"catid": c, "label": f"c{c}"} for c in range(NUM_CATS)]
-        db.create_table("cats", sample_row=cats[0])
-        db.load("cats", cats)
-        with pytest.raises(ValueError, match="partitioned"):
+        flat = build_database()
+        query = Query.select("items", order_by=["price", "itemid"], limit=10)
+        expected = flat.run_query(query, cold_cache=True).rows
+        result = db.run_query(query, cold_cache=True)
+        assert result.rows == expected
+        rendered = db.explain_analyze(query, cold_cache=True)
+        assert "merge_exchange[" in rendered
+        assert "topk" in rendered
+
+
+# ---------------------------------------------------------------------------
+# Partition-wise joins
+# ---------------------------------------------------------------------------
+
+def build_join_database(items_spec=None, cats_spec=None):
+    db = build_database(items_spec)
+    cats = [{"catid": c, "label": f"c{c}"} for c in range(NUM_CATS)]
+    db.create_table(
+        "cats", sample_row=cats[0], tups_per_page=40, partition_by=cats_spec
+    )
+    db.load("cats", cats)
+    return db
+
+
+JOIN_QUERY = Query.select("items", order_by=["itemid"]).join("cats", on="catid")
+
+
+class TestPartitionJoins:
+    def expected_rows(self):
+        return build_join_database().run_query(JOIN_QUERY, cold_cache=True).rows
+
+    def test_co_partitioned_join_matches_flat(self):
+        spec = PartitionSpec.by_hash("catid", 4)
+        db = build_join_database(spec, spec)
+        result = db.run_query(JOIN_QUERY, cold_cache=True)
+        assert result.rows == self.expected_rows()
+        plans = db.explain(JOIN_QUERY)
+        assert any(
+            "co-partitioned with cats" in plan["structure"] for plan in plans
+        )
+
+    def test_flat_build_side_offers_broadcast_and_repartition(self):
+        db = build_join_database(PartitionSpec.by_hash("catid", 4))
+        result = db.run_query(JOIN_QUERY, cold_cache=True)
+        assert result.rows == self.expected_rows()
+        structures = [plan["structure"] for plan in db.explain(JOIN_QUERY)]
+        assert any("broadcast cats" in s for s in structures)
+        assert any("repartition cats" in s for s in structures)
+
+    def test_repartition_bridges_incompatible_layouts(self):
+        db = build_join_database(
+            PartitionSpec.by_hash("catid", 4),
+            PartitionSpec.by_range("catid", [10, 20, 30]),
+        )
+        result = db.run_query(JOIN_QUERY, cold_cache=True)
+        assert result.rows == self.expected_rows()
+        structures = [plan["structure"] for plan in db.explain(JOIN_QUERY)]
+        assert any("repartition cats" in s for s in structures)
+
+    def test_incompatible_layouts_with_repartition_disabled_raise(self):
+        db = build_join_database(
+            PartitionSpec.by_hash("catid", 4),
+            PartitionSpec.by_range("catid", [10, 20, 30]),
+        )
+        db.enable_repartition = False
+        with pytest.raises(ValueError, match="enable_repartition"):
+            db.run_query(JOIN_QUERY)
+        with pytest.raises(ValueError, match="enable_repartition"):
+            db.explain(JOIN_QUERY)
+
+    def test_join_off_the_partition_key_needs_a_flat_build_side(self):
+        # Joining on a non-key column cannot route a repartition, and the
+        # build side is itself partitioned: genuinely unsupported.
+        db = build_join_database(
+            PartitionSpec.by_hash("itemid", 4),
+            PartitionSpec.by_hash("catid", 2),
+        )
+        with pytest.raises(ValueError, match="partition key"):
             db.run_query(Query.select("items").join("cats", on="catid"))
+
+    def test_three_way_joins_over_partitioned_tables_are_rejected(self):
+        db = build_join_database(PartitionSpec.by_hash("catid", 4))
+        labels = [{"label": f"c{c}", "note": f"n{c}"} for c in range(NUM_CATS)]
+        db.create_table("labels", sample_row=labels[0], tups_per_page=40)
+        db.load("labels", labels)
+        query = (
+            Query.select("items").join("cats", on="catid").join("labels", on="label")
+        )
+        with pytest.raises(ValueError, match="exactly two tables"):
+            db.run_query(query)
+
+    @pytest.mark.skipif(not FORK_AVAILABLE, reason="fork start method unavailable")
+    def test_parallel_join_matches_serial(self):
+        spec = PartitionSpec.by_hash("catid", 4)
+        for cats_spec in (spec, None):
+            db = build_join_database(spec, cats_spec)
+            reference = run_cold(db, JOIN_QUERY)
+            candidate = run_cold(db, JOIN_QUERY, parallel=2)
+            context = f"join cats_spec={cats_spec!r}"
+            assert_identical_stats(reference, candidate, context=context)
+            assert candidate.rows == reference.rows
+
+    @pytest.mark.skipif(not FORK_AVAILABLE, reason="fork start method unavailable")
+    def test_parallel_ordered_limit_join_matches_serial(self):
+        spec = PartitionSpec.by_hash("catid", 4)
+        db = build_join_database(spec, spec)
+        query = Query.select(
+            "items", order_by=["-price", "itemid"], limit=7
+        ).join("cats", on="catid")
+        reference = run_cold(db, query)
+        candidate = run_cold(db, query, parallel=2)
+        assert_identical_stats(reference, candidate, context="ordered limit join")
+        assert candidate.rows == reference.rows
+        assert len(candidate.rows) == 7
 
 
 # ---------------------------------------------------------------------------

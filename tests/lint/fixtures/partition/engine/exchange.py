@@ -1,0 +1,8 @@
+"""Bad fixture: exchange operators that read heap pages while merging."""
+
+
+def merge_partition_streams(exchange, context):  # noqa: fixtures skip typed-defs
+    parts = [list(source.heap.scan()) for source in exchange.sources]
+    head = exchange.sources[0].heap.read_page(0)
+    exchange.pool.access_run(exchange.name, 0, 4)
+    return parts, head

@@ -132,6 +132,13 @@ class TestPartitionAccounting:
             ("partition/engine/partition.py", 8),  # buffer-pool access
         ]
 
+    def test_exchange_bad_fixture_exact_findings(self):
+        assert findings("REPRO108", "partition/engine/exchange.py") == [
+            ("partition/engine/exchange.py", 5),  # scan while gathering parts
+            ("partition/engine/exchange.py", 6),  # read_page for a merge head
+            ("partition/engine/exchange.py", 7),  # buffer-pool access_run
+        ]
+
     def test_orchestration_shape_clean(self):
         assert findings("REPRO108", "partition/engine/parallel.py") == []
 
